@@ -1,0 +1,332 @@
+package tradenet_test
+
+// One benchmark per table and figure in the paper, plus the in-text
+// quantitative claims of §3–§4. Each bench runs the corresponding
+// experiment from internal/core and reports the headline quantity as a
+// custom metric, so `go test -bench=. -benchmem` regenerates the whole
+// evaluation. EXPERIMENTS.md records paper-vs-measured values.
+
+import (
+	"testing"
+
+	"tradenet/internal/core"
+	"tradenet/internal/device"
+	"tradenet/internal/sim"
+)
+
+// BenchmarkTable1FrameLengths (E1) regenerates Table 1: frame-length
+// min/avg/median/max for the three exchange feeds.
+func BenchmarkTable1FrameLengths(b *testing.B) {
+	var r core.Table1Result
+	for i := 0; i < b.N; i++ {
+		r = core.RunTable1(100_000, 1)
+	}
+	b.ReportMetric(float64(r.Rows[1].Avg), "exchB-avg-bytes")
+	b.ReportMetric(float64(r.Rows[1].Median), "exchB-median-bytes")
+}
+
+// BenchmarkFig2aDailyGrowth (E2) regenerates Figure 2(a): five years of
+// daily event counts with ~500% growth.
+func BenchmarkFig2aDailyGrowth(b *testing.B) {
+	var r core.Fig2aResult
+	for i := 0; i < b.N; i++ {
+		r = core.RunFig2a(int64(i + 1))
+	}
+	b.ReportMetric((r.Growth-1)*100, "growth-pct")
+	b.ReportMetric(r.AvgRatePerSec/1000, "kevents/s")
+}
+
+// BenchmarkFig2bIntraday (E3) regenerates Figure 2(b): the single-stock
+// trading day in 1-second windows.
+func BenchmarkFig2bIntraday(b *testing.B) {
+	var r core.Fig2bResult
+	for i := 0; i < b.N; i++ {
+		r = core.RunFig2b(int64(i + 1))
+	}
+	b.ReportMetric(float64(r.SessionMedian), "median-events/s")
+	b.ReportMetric(float64(r.Busiest), "busiest-second")
+}
+
+// BenchmarkFig2cBusySecond (E4) regenerates Figure 2(c): the busiest second
+// in 100 µs windows.
+func BenchmarkFig2cBusySecond(b *testing.B) {
+	var r core.Fig2cResult
+	for i := 0; i < b.N; i++ {
+		r = core.RunFig2c(int64(i + 1))
+	}
+	b.ReportMetric(float64(r.Median), "median-window")
+	b.ReportMetric(float64(r.Busiest), "busiest-window")
+}
+
+// BenchmarkDesign1RoundTrip (E5) measures the §4.1 leaf-spine round trip:
+// 12 switch hops, network ≈ half the total.
+func BenchmarkDesign1RoundTrip(b *testing.B) {
+	var rt core.RoundTrip
+	for i := 0; i < b.N; i++ {
+		d := core.NewDesign1(core.SmallScenario(), device.DefaultCommodityConfig())
+		rt = d.MeasureRoundTrip(4)
+	}
+	b.ReportMetric(rt.Mean().Microseconds(), "tick-to-trade-µs")
+	b.ReportMetric(rt.NetworkShare()*100, "network-share-pct")
+}
+
+// BenchmarkDesign3RoundTrip (E6) measures the §4.3 L1S round trip: network
+// latency roughly two orders of magnitude below commodity switching.
+func BenchmarkDesign3RoundTrip(b *testing.B) {
+	var rt core.RoundTrip
+	for i := 0; i < b.N; i++ {
+		d := core.NewDesign3(core.SmallScenario(), 0)
+		rt = d.MeasureRoundTrip(4)
+	}
+	b.ReportMetric(rt.Mean().Microseconds(), "tick-to-trade-µs")
+	b.ReportMetric(rt.NetworkTime().Nanoseconds(), "network-ns")
+}
+
+// BenchmarkDesign2CloudRoundTrip (E12) measures the equalized cloud: fair
+// (zero skew) but slow.
+func BenchmarkDesign2CloudRoundTrip(b *testing.B) {
+	var rt core.RoundTrip
+	var skew sim.Duration
+	for i := 0; i < b.N; i++ {
+		lats := []sim.Duration{5 * sim.Microsecond, 20 * sim.Microsecond, 12 * sim.Microsecond}
+		d := core.NewDesign2(core.SmallScenario(), lats, true)
+		rt = d.MeasureRoundTrip(4)
+		skew, _ = d.SkewStats()
+	}
+	b.ReportMetric(rt.Mean().Microseconds(), "tick-to-trade-µs")
+	b.ReportMetric(skew.Nanoseconds(), "delivery-skew-ns")
+}
+
+// BenchmarkCloudEqualization (E12b) contrasts equalized and raw cloud
+// delivery skew.
+func BenchmarkCloudEqualization(b *testing.B) {
+	var eqSkew, rawSkew sim.Duration
+	for i := 0; i < b.N; i++ {
+		lats := []sim.Duration{5 * sim.Microsecond, 20 * sim.Microsecond}
+		dEq := core.NewDesign2(core.SmallScenario(), lats, true)
+		dEq.MeasureRoundTrip(3)
+		eqSkew, _ = dEq.SkewStats()
+		dRaw := core.NewDesign2(core.SmallScenario(), lats, false)
+		dRaw.MeasureRoundTrip(3)
+		rawSkew, _ = dRaw.SkewStats()
+	}
+	b.ReportMetric(eqSkew.Nanoseconds(), "equalized-skew-ns")
+	b.ReportMetric(rawSkew.Microseconds(), "raw-skew-µs")
+}
+
+// BenchmarkMrouteOverflow (E7) measures the §3 multicast-table cliff:
+// software-forwarded groups see orders-of-magnitude latency and heavy loss.
+func BenchmarkMrouteOverflow(b *testing.B) {
+	var r core.MrouteOverflowResult
+	for i := 0; i < b.N; i++ {
+		r = core.RunMrouteOverflow(40, 20, 60, 5)
+	}
+	b.ReportMetric(r.HWMean.Nanoseconds(), "hw-mean-ns")
+	b.ReportMetric(r.SWMean.Microseconds(), "sw-mean-µs")
+	b.ReportMetric((1-float64(r.SWDelivered)/float64(r.SWSent))*100, "sw-loss-pct")
+}
+
+// BenchmarkSwitchGenerations (E8) regenerates the §3 hardware-trend table.
+func BenchmarkSwitchGenerations(b *testing.B) {
+	var r core.GenerationsResult
+	for i := 0; i < b.N; i++ {
+		r = core.RunGenerations()
+	}
+	b.ReportMetric(r.Measured[0].Nanoseconds(), "oldest-hop-ns")
+	b.ReportMetric(r.Measured[len(r.Measured)-1].Nanoseconds(), "newest-hop-ns")
+}
+
+// BenchmarkL1SMergeBottleneck (E9) sweeps merge fan-in: queueing then loss
+// as merged bursty feeds cross the line rate.
+func BenchmarkL1SMergeBottleneck(b *testing.B) {
+	var r core.MergeResult
+	for i := 0; i < b.N; i++ {
+		r = core.RunMergeBottleneck([]int{1, 2, 4, 8}, 20, 6)
+	}
+	last := r.Rows[len(r.Rows)-1]
+	b.ReportMetric(last.MeanQueue.Microseconds(), "fan8-queue-µs")
+	b.ReportMetric(float64(last.Dropped)/float64(last.Dropped+last.Delivered)*100, "fan8-loss-pct")
+}
+
+// BenchmarkHeaderOverhead (E10) measures header share of feed bytes and the
+// §5 compact-transport ablation.
+func BenchmarkHeaderOverhead(b *testing.B) {
+	var r core.OverheadResult
+	for i := 0; i < b.N; i++ {
+		r = core.RunHeaderOverhead(50_000, 7)
+	}
+	b.ReportMetric(r.Rows[0].HeaderShare*100, "exchA-header-pct")
+	b.ReportMetric(r.HeaderCostNs, "hdr-cost-ns-at-10G")
+}
+
+// BenchmarkPartitionScaling (E11) tracks partition growth (600→1300)
+// against switch-generation mroute capacity.
+func BenchmarkPartitionScaling(b *testing.B) {
+	var r core.PartitionScalingResult
+	for i := 0; i < b.N; i++ {
+		r = core.RunPartitionScaling(4)
+	}
+	last := r.Rows[len(r.Rows)-1]
+	b.ReportMetric(float64(last.TotalGroups), "total-groups")
+	b.ReportMetric(float64(last.Plans[0].Software), "oldest-gen-overflow")
+}
+
+// BenchmarkPerEventBudget (E13) times the real decode/normalize path
+// against the 650 ns and ~100 ns budgets of §3.
+func BenchmarkPerEventBudget(b *testing.B) {
+	var r core.BudgetResult
+	for i := 0; i < b.N; i++ {
+		r = core.RunPerEventBudget(1_000_000)
+	}
+	b.ReportMetric(r.DecodeNsPerMsg, "decode-ns/msg")
+	b.ReportMetric(r.NormalizeNsPerMsg, "normalize-ns/msg")
+}
+
+// BenchmarkWANMicrowaveVsFiber (E14) measures the §2 WAN trade: microwave's
+// latency advantage and its rain loss.
+func BenchmarkWANMicrowaveVsFiber(b *testing.B) {
+	var r core.WANResult
+	for i := 0; i < b.N; i++ {
+		r = core.RunWAN(400, 8)
+	}
+	b.ReportMetric(r.Rows[2].Advantage.Microseconds(), "mahwah-carteret-advantage-µs")
+	b.ReportMetric(r.Rows[2].RainLossPct, "rain-loss-pct")
+}
+
+// BenchmarkFilteredMergeAblation (§5 Hardware) shows FPGA filtering making
+// L1S merges safe under loads that break plain merging.
+func BenchmarkFilteredMergeAblation(b *testing.B) {
+	var r core.FilteredMergeResult
+	for i := 0; i < b.N; i++ {
+		r = core.RunFilteredMerge([]int{4}, 20, 5)
+	}
+	row := r.Rows[0]
+	b.ReportMetric(float64(row.RawDropped)/float64(row.RawDropped+row.RawDelivered)*100, "raw-loss-pct")
+	b.ReportMetric(float64(row.FilteredDropped), "filtered-drops")
+}
+
+// BenchmarkPlacementAblation (§4.1/§5 Cluster Management) compares
+// function-grouped racks with optimized placement.
+func BenchmarkPlacementAblation(b *testing.B) {
+	var r core.PlacementResult
+	for i := 0; i < b.N; i++ {
+		r = core.RunPlacement(4, 64, 4, 11, 10, 1)
+	}
+	b.ReportMetric(r.BaselineMeanHops, "baseline-hops")
+	b.ReportMetric(r.OptimizedMeanHops, "optimized-hops")
+}
+
+// BenchmarkGroupMappingAblation (§5 Routing) compares naive and
+// subscription-clustered partition→group mappings.
+func BenchmarkGroupMappingAblation(b *testing.B) {
+	var r core.GroupMappingResult
+	for i := 0; i < b.N; i++ {
+		r = core.RunGroupMapping(1024, 64, 50, 2)
+	}
+	b.ReportMetric(r.NaiveUnwanted*100, "naive-unwanted-pct")
+	b.ReportMetric(r.OptUnwanted*100, "clustered-unwanted-pct")
+}
+
+// BenchmarkTimestampPrecision (§2) sweeps clock-sync precision against
+// event-ordering fidelity.
+func BenchmarkTimestampPrecision(b *testing.B) {
+	var r core.TimestampPrecisionResult
+	for i := 0; i < b.N; i++ {
+		r = core.RunTimestampPrecision(5000, 4)
+	}
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	b.ReportMetric(float64(first.Inversions)/float64(first.Pairs)*100, "1µs-misorder-pct")
+	b.ReportMetric(float64(last.Inversions), "100ps-misorders")
+}
+
+// BenchmarkFilterPlacement (§3) sweeps the in-process vs middlebox
+// filtering crossover.
+func BenchmarkFilterPlacement(b *testing.B) {
+	var r core.FilterPlacementResult
+	for i := 0; i < b.N; i++ {
+		r = core.RunFilterPlacement()
+	}
+	last := r.Rows[len(r.Rows)-1]
+	b.ReportMetric(last.InProcessCores, "inproc-cores-32c")
+	b.ReportMetric(last.MiddleboxCores, "middlebox-cores-32c")
+}
+
+// BenchmarkDualPathWAN (§2) measures A/B-arbitrated delivery over microwave
+// + fiber with rain fade: lossless, with fiber backstopping the rain.
+func BenchmarkDualPathWAN(b *testing.B) {
+	var r core.DualPathResult
+	for i := 0; i < b.N; i++ {
+		r = core.RunDualPathWAN(3000, 9)
+	}
+	b.ReportMetric(float64(r.GapsAfterArbit), "gaps")
+	b.ReportMetric(float64(r.FiberWins), "fiber-wins")
+	b.ReportMetric(r.ClearP50.Microseconds(), "clear-p50-µs")
+}
+
+// BenchmarkCorrelatedBurstMerge (§2) shows correlated cross-feed bursts
+// defeating statistical multiplexing at a merge point.
+func BenchmarkCorrelatedBurstMerge(b *testing.B) {
+	var r core.CorrelatedMergeResult
+	for i := 0; i < b.N; i++ {
+		r = core.RunCorrelatedMerge(4, 30, 12)
+	}
+	b.ReportMetric(float64(r.IndependentDrops), "independent-drops")
+	b.ReportMetric(float64(r.CorrelatedDrops), "correlated-drops")
+}
+
+// BenchmarkColocationAdvantage (§2) races a co-located firm against a
+// remote microwave-connected firm reacting to the same event.
+func BenchmarkColocationAdvantage(b *testing.B) {
+	var r core.ColocationResult
+	for i := 0; i < b.N; i++ {
+		r = core.RunColocation(2*sim.Microsecond, 3)
+	}
+	b.ReportMetric(r.Advantage.Microseconds(), "advantage-µs")
+	b.ReportMetric(r.LocalTickToTrade.Microseconds(), "local-t2t-µs")
+}
+
+// BenchmarkMetroNBBOSkew (§4.2) measures how cross-colo propagation skew
+// manufactures phantom locked/crossed NBBO states at a remote surveillance
+// host.
+func BenchmarkMetroNBBOSkew(b *testing.B) {
+	var r core.MetroNBBOResult
+	for i := 0; i < b.N; i++ {
+		r = core.RunMetroNBBO(100*sim.Millisecond, 7)
+	}
+	b.ReportMetric(r.MicrowaveShare*100, "microwave-bad-pct")
+	b.ReportMetric(r.FiberShare*100, "fiber-bad-pct")
+}
+
+// BenchmarkGenerationRoundTrip (§3 trend, end to end) runs the Design 1
+// loop on decade-old vs current switch generations.
+func BenchmarkGenerationRoundTrip(b *testing.B) {
+	var r core.GenerationRTResult
+	for i := 0; i < b.N; i++ {
+		r = core.RunGenerationRoundTrip(core.SmallScenario(), 3)
+	}
+	b.ReportMetric(r.OldMean.Microseconds(), "old-gen-rt-µs")
+	b.ReportMetric(r.NewMean.Microseconds(), "new-gen-rt-µs")
+}
+
+// BenchmarkCorePinning (Fig. 1d) measures event tail latency with the OS
+// sharing vs isolated from the event core.
+func BenchmarkCorePinning(b *testing.B) {
+	var r core.CorePinningResult
+	for i := 0; i < b.N; i++ {
+		r = core.RunCorePinning(50, 8)
+	}
+	b.ReportMetric(r.SharedMax.Microseconds(), "shared-max-µs")
+	b.ReportMetric(r.PinnedMax.Microseconds(), "isolated-max-µs")
+}
+
+// BenchmarkStaleQuotes (§1/§2) sweeps quoter decision latency against a
+// fixed aggressor: the pick-off crossover is the cost of being slow.
+func BenchmarkStaleQuotes(b *testing.B) {
+	var r core.StaleQuoteResult
+	for i := 0; i < b.N; i++ {
+		lats := []sim.Duration{2 * sim.Microsecond, 50 * sim.Microsecond}
+		r = core.RunStaleQuotes(lats, 10, 15*sim.Microsecond, 3)
+	}
+	b.ReportMetric(float64(r.Rows[0].StaleFills), "fast-pickoffs")
+	b.ReportMetric(float64(r.Rows[1].StaleFills), "slow-pickoffs")
+}

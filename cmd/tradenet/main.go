@@ -1,0 +1,130 @@
+// Command tradenet runs the paper-reproduction experiments and prints the
+// corresponding tables and figure statistics.
+//
+// Usage:
+//
+//	tradenet -experiment all
+//	tradenet -experiment table1 -frames 500000
+//	tradenet -experiment designs -scale paper
+//
+// Experiments (see DESIGN.md's per-experiment index):
+//
+//	table1      E1  — frame lengths per feed (Table 1)
+//	fig2a       E2  — daily event growth (Figure 2a)
+//	fig2b       E3  — single stock intraday, 1s windows (Figure 2b)
+//	fig2c       E4  — busiest second, 100µs windows (Figure 2c)
+//	designs     E5+E6+E12 — round trips through Designs 1, 3, 2
+//	mroute      E7  — multicast table overflow cliff
+//	generations E8  — switch latency/multicast trends
+//	merge       E9  — L1S merge bottleneck sweep
+//	overhead    E10 — header overhead + compact-transport ablation
+//	partitions  E11 — partition growth vs mroute capacity
+//	budget      E13 — per-event budgets vs measured codec cost
+//	wan         E14 — microwave vs fiber inter-colo circuits
+//	dualpath    E15 — A/B arbitration over microwave + fiber with rain
+//	colocation  E16 — co-located vs remote firm tick-to-trade race
+//	metronbbo   E17 — cross-colo NBBO skew at a surveillance host
+//	filtermerge A1  — FPGA-filtered L1S merging (§5 Hardware)
+//	placement   A2  — rack placement optimization (§5 Cluster Management)
+//	groupmap    A3  — partition→group mapping co-design (§5 Routing)
+//	timestamps  A4  — clock-sync precision vs event ordering (§2)
+//	filterplace A5  — in-process vs middlebox filtering crossover (§3)
+//	correlated  A6  — correlated cross-feed bursts at a merge (§2)
+//	corepin     A7  — core isolation vs shared cores (Fig. 1d)
+//	genrt       E8b — Design 1 round trip across switch generations
+//	stalequotes E18 — the cost of latency: repricing races an aggressor
+//
+// Pass -csv <dir> to also export the Figure 2 data series as CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tradenet/internal/core"
+	"tradenet/internal/sim"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id or 'all'")
+		scale      = flag.String("scale", "small", "plant scale: small | paper")
+		seed       = flag.Int64("seed", 1, "random seed")
+		frames     = flag.Int("frames", 200_000, "frames for table1/overhead")
+		bursts     = flag.Int("bursts", 4, "measurement bursts for design round trips")
+		csvDir     = flag.String("csv", "", "also write Figure 2 data series as CSV into this directory")
+	)
+	flag.Parse()
+
+	sc := core.SmallScenario()
+	if *scale == "paper" {
+		sc = core.PaperScenario()
+	}
+	sc.Seed = *seed
+
+	if *csvDir != "" {
+		files, err := core.WriteFigureCSVs(*csvDir, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csv export: %v\n", err)
+			os.Exit(1)
+		}
+		for _, f := range files {
+			fmt.Printf("wrote %s\n", f)
+		}
+	}
+
+	runners := map[string]func(){
+		"table1":      func() { fmt.Println(core.RunTable1(*frames, *seed)) },
+		"fig2a":       func() { fmt.Println(core.RunFig2a(*seed)) },
+		"fig2b":       func() { fmt.Println(core.RunFig2b(*seed)) },
+		"fig2c":       func() { fmt.Println(core.RunFig2c(*seed)) },
+		"designs":     func() { fmt.Println(core.RunDesignComparison(sc, *bursts)) },
+		"mroute":      func() { fmt.Println(core.RunMrouteOverflow(40, 20, 60, *seed)) },
+		"generations": func() { fmt.Println(core.RunGenerations()) },
+		"merge":       func() { fmt.Println(core.RunMergeBottleneck([]int{1, 2, 4, 8}, 50, *seed)) },
+		"overhead":    func() { fmt.Println(core.RunHeaderOverhead(*frames, *seed)) },
+		"partitions":  func() { fmt.Println(core.RunPartitionScaling(4)) },
+		"budget":      func() { fmt.Println(core.RunPerEventBudget(2_000_000)) },
+		"wan":         func() { fmt.Println(core.RunWAN(1000, *seed)) },
+		// §5 future-work ablations:
+		"filtermerge": func() { fmt.Println(core.RunFilteredMerge([]int{2, 4, 8}, 50, *seed)) },
+		"placement":   func() { fmt.Println(core.RunPlacement(4, 64, 4, 11, 10, *seed)) },
+		"groupmap":    func() { fmt.Println(core.RunGroupMapping(1024, 64, 50, *seed)) },
+		"timestamps":  func() { fmt.Println(core.RunTimestampPrecision(20_000, *seed)) },
+		"filterplace": func() { fmt.Println(core.RunFilterPlacement()) },
+		"dualpath":    func() { fmt.Println(core.RunDualPathWAN(5000, *seed)) },
+		"correlated":  func() { fmt.Println(core.RunCorrelatedMerge(4, 60, *seed)) },
+		"colocation":  func() { fmt.Println(core.RunColocation(2*sim.Microsecond, *seed)) },
+		"metronbbo":   func() { fmt.Println(core.RunMetroNBBO(500*sim.Millisecond, *seed)) },
+		"genrt":       func() { fmt.Println(core.RunGenerationRoundTrip(sc, *bursts)) },
+		"corepin":     func() { fmt.Println(core.RunCorePinning(100, *seed)) },
+		"stalequotes": func() {
+			lats := []sim.Duration{500 * sim.Nanosecond, 2 * sim.Microsecond, 5 * sim.Microsecond,
+				10 * sim.Microsecond, 20 * sim.Microsecond, 50 * sim.Microsecond}
+			fmt.Println(core.RunStaleQuotes(lats, 20, 15*sim.Microsecond, *seed))
+		},
+	}
+	order := []string{"table1", "fig2a", "fig2b", "fig2c", "designs", "mroute",
+		"generations", "merge", "overhead", "partitions", "budget", "wan",
+		"filtermerge", "placement", "groupmap", "timestamps", "filterplace",
+		"dualpath", "correlated", "colocation", "metronbbo", "genrt", "corepin", "stalequotes"}
+
+	if *experiment == "all" {
+		for _, id := range order {
+			fmt.Printf("=== %s ===\n", id)
+			runners[id]()
+		}
+		return
+	}
+	run, ok := runners[*experiment]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; known:", *experiment)
+		for _, id := range order {
+			fmt.Fprintf(os.Stderr, " %s", id)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+	run()
+}

@@ -1,0 +1,84 @@
+// Burstyday: generate the paper's Figure 2(b) trading day for one stock,
+// find the busiest second, then zoom into it at 100 µs resolution
+// (Figure 2c) — the workload that sets the per-event budgets trading
+// systems must meet.
+//
+//	go run ./examples/burstyday
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"tradenet/internal/metrics"
+	"tradenet/internal/sim"
+	"tradenet/internal/workload"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	day := workload.Fig2bDay(rng, workload.DefaultFig2b())
+	openSec := int(workload.SessionOpenHour * 3600)
+	closeSec := int(workload.SessionCloseHour * 3600)
+	med := day.Median(func(i int) bool { return i >= openSec && i < closeSec })
+	busyIdx, busiest := day.Busiest()
+
+	fmt.Println("Figure 2(b): one stock's BBO-affecting options events, 1s windows")
+	fmt.Printf("  session median %d events/s, busiest second %d events at %s\n",
+		med, busiest, day.WindowStart(busyIdx))
+	sparkline("hourly profile", hourly(day, openSec, closeSec))
+
+	fmt.Println("\nFigure 2(c): inside the busiest second, 100µs windows")
+	sec := workload.Fig2cSecond(rng, workload.DefaultFig2c(), nil)
+	_, top := sec.Busiest()
+	fmt.Printf("  median window %d events, busiest window %d events\n", sec.Median(nil), top)
+	sparkline("within-second profile (10ms bins)", rebin(sec, 100))
+
+	fmt.Println("\nper-event budgets (§3):")
+	fmt.Printf("  to absorb the busiest second:      %v/event\n",
+		workload.PerEventBudget(busiest, sim.Second))
+	fmt.Printf("  to absorb the busiest 100µs burst: %v/event\n",
+		workload.PerEventBudget(top, 100*sim.Microsecond))
+}
+
+func hourly(day *metrics.WindowSeries, openSec, closeSec int) []int64 {
+	var out []int64
+	for h := openSec; h < closeSec; h += 1800 {
+		var sum int64
+		for s := h; s < h+1800 && s < day.Len(); s++ {
+			sum += day.Count(s)
+		}
+		out = append(out, sum)
+	}
+	return out
+}
+
+func rebin(w *metrics.WindowSeries, factor int) []int64 {
+	var out []int64
+	for i := 0; i < w.Len(); i += factor {
+		var sum int64
+		for j := i; j < i+factor && j < w.Len(); j++ {
+			sum += w.Count(j)
+		}
+		out = append(out, sum)
+	}
+	return out
+}
+
+func sparkline(label string, vals []int64) {
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	var max int64 = 1
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		idx := int(v * int64(len(blocks)-1) / max)
+		b.WriteRune(blocks[idx])
+	}
+	fmt.Printf("  %s: %s\n", label, b.String())
+}

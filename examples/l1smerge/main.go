@@ -1,0 +1,32 @@
+// L1smerge: demonstrate the §4.3 trade-off. Layer-1 switches deliver feeds
+// in nanoseconds, but a strategy with one NIC that wants several
+// normalizers' outputs must merge them — and merged bursty feeds exceed the
+// line rate, producing queueing and loss exactly as the paper warns.
+//
+//	go run ./examples/l1smerge
+package main
+
+import (
+	"fmt"
+
+	"tradenet/internal/core"
+)
+
+func main() {
+	fmt.Println("sweeping merge fan-in: k bursty feeds onto one 10G strategy NIC")
+	fmt.Println()
+	fmt.Println(core.RunMergeBottleneck([]int{1, 2, 4, 8}, 50, 1))
+	fmt.Println(`reading the table: one feed rides through at wire speed. As fan-in
+grows the offered load crosses the line rate; first queueing delay climbs
+(latency), then the merge buffer overflows (loss). The alternatives are a
+NIC per feed (which does not scale) or capping subscriptions (which caps
+how finely normalizers can partition) — §4.3's dilemma.`)
+
+	// The subscription-cap workaround, on the real plant: capping each
+	// strategy to one normalizer removes every merge port.
+	sc := core.SmallScenario()
+	uncapped := core.NewDesign3(sc, 0).MergePorts()
+	capped := core.NewDesign3(sc, 1).MergePorts()
+	fmt.Printf("\nmerge ports on the normalizer→strategy network: uncapped %d, capped-to-1 %d\n",
+		uncapped["norm-strat"], capped["norm-strat"])
+}

@@ -1,0 +1,37 @@
+// Pickoff: the paper's thesis as a runnable race. A market maker keeps a
+// two-sided quote on the simulated exchange, repricing through the full
+// plant (feed → normalizer → decision → gateway → matching engine). Every
+// time the market moves, an aggressor reacts 15 µs later and tries to
+// trade at the maker's old price. Sweep the maker's decision latency and
+// watch the pick-off rate go from zero to total — "the likelihood that an
+// order will be profitable rapidly decays as the market data it was based
+// on becomes stale" (§1).
+//
+//	go run ./examples/pickoff
+package main
+
+import (
+	"fmt"
+
+	"tradenet/internal/core"
+	"tradenet/internal/sim"
+)
+
+func main() {
+	lats := []sim.Duration{
+		500 * sim.Nanosecond,
+		2 * sim.Microsecond,
+		5 * sim.Microsecond,
+		10 * sim.Microsecond,
+		20 * sim.Microsecond,
+		50 * sim.Microsecond,
+		200 * sim.Microsecond,
+	}
+	fmt.Println(core.RunStaleQuotes(lats, 20, 15*sim.Microsecond, 1))
+	fmt.Println(`the crossover sits where the maker's full reprice loop (market-data
+path + decision + order path) meets the aggressor's reaction time. Below
+it, latency buys survival; above it, every quote is a donation. This is
+why §1 calls being fast "the most important requirement", and why the
+network's share of that loop (Designs 1-3) is worth redesigning hardware
+for.`)
+}

@@ -1,0 +1,3 @@
+module tradenet
+
+go 1.22

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"tradenet/internal/sim"
+	"tradenet/internal/workload"
+)
+
+// WriteFigureCSVs regenerates the Figure 2 data series and writes them as
+// CSV files (fig2a.csv, fig2b.csv, fig2c.csv) into dir, so the paper's
+// plots can be reproduced with any plotting tool. It returns the files
+// written.
+func WriteFigureCSVs(dir string, seed int64) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var written []string
+
+	// Figure 2(a): daily event counts over five years.
+	{
+		path := filepath.Join(dir, "fig2a.csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return written, err
+		}
+		fmt.Fprintln(f, "trading_day,events")
+		for _, d := range workload.Fig2aSeries(rand.New(rand.NewSource(seed)), workload.DefaultFig2a()) {
+			fmt.Fprintf(f, "%d,%.0f\n", d.Day, d.Count)
+		}
+		if err := f.Close(); err != nil {
+			return written, err
+		}
+		written = append(written, path)
+	}
+
+	// Figure 2(b): one day of 1-second windows.
+	{
+		path := filepath.Join(dir, "fig2b.csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return written, err
+		}
+		day := workload.Fig2bDay(rand.New(rand.NewSource(seed)), workload.DefaultFig2b())
+		if err := day.WriteCSV(f, sim.Second, "second_of_day", "events"); err != nil {
+			f.Close()
+			return written, err
+		}
+		if err := f.Close(); err != nil {
+			return written, err
+		}
+		written = append(written, path)
+	}
+
+	// Figure 2(c): the busiest second in 100 µs windows.
+	{
+		path := filepath.Join(dir, "fig2c.csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return written, err
+		}
+		sec := workload.Fig2cSecond(rand.New(rand.NewSource(seed)), workload.DefaultFig2c(), nil)
+		if err := sec.WriteCSV(f, 100*sim.Microsecond, "window_100us", "events"); err != nil {
+			f.Close()
+			return written, err
+		}
+		if err := f.Close(); err != nil {
+			return written, err
+		}
+		written = append(written, path)
+	}
+	return written, nil
+}

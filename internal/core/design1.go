@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+
+	"tradenet/internal/device"
+	"tradenet/internal/exchange"
+	"tradenet/internal/feed"
+	"tradenet/internal/firm"
+	"tradenet/internal/market"
+	"tradenet/internal/mcast"
+	"tradenet/internal/orderentry"
+	"tradenet/internal/sim"
+	"tradenet/internal/topo"
+)
+
+// Design1 is §4.1: a leaf-spine fabric of commodity switches with servers
+// grouped by function per rack and a dedicated exchange leaf. The loop
+// exchange→normalizer→strategy→gateway→exchange crosses 12 switch hops.
+type Design1 struct {
+	Scenario Scenario
+	Sched    *sim.Scheduler
+	U        *market.Universe
+	LS       *topo.LeafSpine
+	Ex       *exchange.Exchange
+	Norms    []*firm.Normalizer
+	Strats   []*firm.Strategy
+	Gws      []*firm.Gateway
+
+	RawMap *mcast.Map
+	OutMap *mcast.Map
+}
+
+// hostIDs: the exchange uses 100+, normalizers 1000+, strategies 10000+,
+// gateways 50000+ — disjoint so derived MACs/IPs never collide.
+const (
+	idExchange   = 100
+	idNormalizer = 1000
+	idStrategy   = 10000
+	idGateway    = 50000
+)
+
+// NewDesign1 builds the full plant. switchCfg overrides the generation
+// (pass device.DefaultCommodityConfig() for current hardware).
+func NewDesign1(sc Scenario, switchCfg device.CommoditySwitchConfig) *Design1 {
+	d := &Design1{Scenario: sc, Sched: sim.NewScheduler(sc.Seed)}
+	d.U = buildUniverse(sc.Symbols)
+
+	// Rack plan: rack 1 normalizers, racks 2..k strategies, rack k+1
+	// gateways ("group servers with common functions by rack", §4.1).
+	perRack := 32
+	stratRacks := (sc.Strategies + perRack - 1) / perRack
+	cfg := topo.DefaultLeafSpineConfig()
+	cfg.Switch = switchCfg
+	cfg.Racks = 2 + stratRacks
+	cfg.HostsPerRack = 2 * perRack // two NICs per server
+	d.LS = topo.NewLeafSpine(d.Sched, cfg)
+
+	d.RawMap = mcast.NewMap(mcast.NewPartitioner(d.U, mcast.ByAlpha, 0), mcast.NewAllocator(1))
+	d.OutMap = mcast.NewMap(mcast.NewPartitioner(d.U, mcast.ByHash, sc.InternalPartitions), mcast.NewAllocator(2))
+
+	d.Ex = exchange.New(d.Sched, d.U, d.RawMap, exchange.Config{
+		ID: 1, Name: "EXCH", Variant: feed.ExchangeB, MatchLatency: 0, HostID: idExchange,
+	})
+	d.LS.Attach(0, d.Ex.MDNIC())
+	d.LS.Attach(0, d.Ex.OENIC())
+
+	// Normalizers on rack 1 (leaf index 1).
+	for i := 0; i < sc.Normalizers; i++ {
+		n := firm.NewNormalizer(d.Sched, d.U, fmt.Sprintf("norm%d", i), uint32(idNormalizer+2*i),
+			feed.ExchangeB, d.RawMap, d.OutMap, firm.NormalizerConfig{ProcLatency: sc.FnLatency})
+		d.LS.Attach(1, n.RawNIC())
+		d.LS.Attach(1, n.PubNIC())
+		for _, g := range d.RawMap.Groups() {
+			d.LS.Join(g, n.RawNIC())
+		}
+		d.Norms = append(d.Norms, n)
+	}
+
+	// Gateways on the last rack.
+	gwLeaf := cfg.Racks
+	for i := 0; i < sc.Gateways; i++ {
+		g := firm.NewGateway(d.Sched, fmt.Sprintf("gw%d", i), uint32(idGateway+2*i),
+			firm.GatewayConfig{TranslateLatency: sc.FnLatency})
+		d.LS.Attach(gwLeaf, g.InNIC())
+		d.LS.Attach(gwLeaf, g.ExNIC())
+		d.Gws = append(d.Gws, g)
+	}
+
+	// Strategies fill the middle racks; each subscribes to a slice of the
+	// internal partitions and dials a gateway round-robin.
+	for i := 0; i < sc.Strategies; i++ {
+		subs := subscriptionSlice(i, sc.InternalPartitions)
+		s := firm.NewStrategy(d.Sched, d.U, fmt.Sprintf("strat%d", i), uint32(idStrategy+2*i),
+			d.OutMap, firm.StrategyConfig{DecisionLatency: sc.FnLatency, Subscriptions: subs})
+		leaf := 2 + i/perRack
+		d.LS.Attach(leaf, s.MDNIC())
+		d.LS.Attach(leaf, s.OENIC())
+		for _, p := range subs {
+			d.LS.Join(d.OutMap.GroupByIndex(p), s.MDNIC())
+		}
+		d.Strats = append(d.Strats, s)
+	}
+
+	d.wireSessions()
+	return d
+}
+
+// subscriptionSlice gives strategy i a contiguous window of 1/4 of the
+// partitions ("some strategies only analyze a subset of the feed").
+func subscriptionSlice(i, parts int) []int {
+	w := parts / 4
+	if w < 1 {
+		w = 1
+	}
+	var subs []int
+	for j := 0; j < w; j++ {
+		subs = append(subs, (i*w+j)%parts)
+	}
+	return subs
+}
+
+// wireSessions dials every order-entry session: gateways to the exchange,
+// strategies to gateways.
+func (d *Design1) wireSessions() {
+	for i, g := range d.Gws {
+		_, exPort := d.Ex.AcceptSession(g.ExNIC().Addr(uint16(41000 + i)))
+		g.ConnectExchange(uint16(41000+i), d.Ex.OENIC().Addr(exPort))
+	}
+	for i, s := range d.Strats {
+		g := d.Gws[i%len(d.Gws)]
+		gwPort := g.AcceptStrategy(s.OENIC().Addr(uint16(42000 + i)))
+		s.ConnectGateway(uint16(42000+i), g.InNIC().Addr(gwPort))
+	}
+}
+
+// MeasureRoundTrip publishes isolated market-data bursts and measures
+// tick-to-trade at the exchange: order-accepted time minus burst publish
+// time. Bursts are spaced far enough apart that attribution is exact.
+func (d *Design1) MeasureRoundTrip(bursts int) RoundTrip {
+	rt := RoundTrip{
+		Design:        "Design 1 (leaf-spine)",
+		SwitchHops:    12,
+		SoftwareHops:  3,
+		SoftwareTime:  3 * d.Scenario.FnLatency,
+		SwitchLatency: 12 * d.LS.Config().Switch.Latency,
+	}
+	measure(d.Sched, d.Ex, d.Scenario, bursts, &rt)
+	return rt
+}
+
+// measure runs the shared burst-publish / order-capture loop: after a
+// settle-in period (logons), it publishes `bursts` isolated message bursts
+// 2 ms apart and attributes each accepted order to the most recent burst.
+func measure(sched *sim.Scheduler, ex *exchange.Exchange, sc Scenario, bursts int, rt *RoundTrip) {
+	var burstAt sim.Time
+	ex.OnOrderAccepted = func(_ *orderentry.Msg, at sim.Time) {
+		rt.Orders++
+		rt.Samples = append(rt.Samples, at.Sub(burstAt))
+	}
+	start := sim.Time(5 * sim.Millisecond) // let logons drain
+	for b := 0; b < bursts; b++ {
+		at := start.Add(sim.Duration(b) * 2 * sim.Millisecond)
+		sched.At(at, func() {
+			burstAt = sched.Now()
+			ex.PublishBurst(sched.Rand(), sc.BurstMessages/bursts)
+		})
+	}
+	sched.Run()
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"tradenet/internal/device"
+	"tradenet/internal/exchange"
+	"tradenet/internal/feed"
+	"tradenet/internal/firm"
+	"tradenet/internal/market"
+	"tradenet/internal/mcast"
+	"tradenet/internal/netsim"
+	"tradenet/internal/pkt"
+	"tradenet/internal/sim"
+	"tradenet/internal/units"
+)
+
+// Design2 is §4.2: exchange and trading machines hosted in a cloud whose
+// fabric equalizes latency across tenants. Normalization is folded into the
+// cloud-hosted exchange (it publishes the internal format directly), per
+// the cloud-exchange proposals the paper cites; each tenant runs a strategy
+// directly against that feed.
+type Design2 struct {
+	Scenario Scenario
+	Sched    *sim.Scheduler
+	U        *market.Universe
+	EqMD     *device.CloudEqualizer
+	EqOE     *device.CloudEqualizer
+	Ex       *exchange.Exchange
+	Strats   []*firm.Strategy
+	OutMap   *mcast.Map
+
+	// arrivals[ipID][tenant] records market-data delivery times for skew
+	// analysis.
+	arrivals map[uint16]map[int]sim.Time
+}
+
+// NewDesign2 builds the cloud plant with the given per-tenant path
+// latencies (zone placement). equalize toggles the fairness fabric.
+func NewDesign2(sc Scenario, tenantLat []sim.Duration, equalize bool) *Design2 {
+	d := &Design2{
+		Scenario: sc,
+		Sched:    sim.NewScheduler(sc.Seed),
+		arrivals: make(map[uint16]map[int]sim.Time),
+	}
+	d.U = buildUniverse(sc.Symbols)
+	d.OutMap = mcast.NewMap(mcast.NewPartitioner(d.U, mcast.ByHash, sc.InternalPartitions), mcast.NewAllocator(2))
+
+	cfg := device.DefaultCloudConfig()
+	cfg.Equalize = equalize
+	d.EqMD = device.NewCloudEqualizer(d.Sched, "cloud-md", tenantLat, cfg)
+	d.EqOE = device.NewCloudEqualizer(d.Sched, "cloud-oe", tenantLat, cfg)
+
+	d.Ex = exchange.New(d.Sched, d.U, d.OutMap, exchange.Config{
+		ID: 1, Name: "CLOUD-EXCH", Variant: feed.Internal, MatchLatency: 0, HostID: idExchange,
+	})
+	netsim.Connect(d.Ex.MDNIC().Port, d.EqMD.ExchangePort(), units.Rate10G, 0)
+	netsim.Connect(d.Ex.OENIC().Port, d.EqOE.ExchangePort(), units.Rate10G, 0)
+
+	for i := 0; i < len(tenantLat); i++ {
+		// Every tenant takes the full feed: fairness is only observable on
+		// data everyone receives.
+		s := firm.NewStrategy(d.Sched, d.U, fmt.Sprintf("tenant%d", i), uint32(idStrategy+2*i),
+			d.OutMap, firm.StrategyConfig{DecisionLatency: sc.FnLatency})
+		netsim.Connect(s.MDNIC().Port, d.EqMD.TenantPort(i+1), units.Rate10G, 0)
+		netsim.Connect(s.OENIC().Port, d.EqOE.TenantPort(i+1), units.Rate10G, 0)
+
+		// Wrap the MD handler to record per-datagram arrival for skew.
+		tenant := i
+		inner := s.MDNIC().OnFrame
+		s.MDNIC().OnFrame = func(n *netsim.NIC, f *netsim.Frame) {
+			var uf pkt.UDPFrame
+			if err := pkt.ParseUDPFrame(f.Data, &uf); err == nil {
+				m := d.arrivals[uf.IP.ID]
+				if m == nil {
+					m = make(map[int]sim.Time)
+					d.arrivals[uf.IP.ID] = m
+				}
+				m[tenant] = d.Sched.Now()
+			}
+			inner(n, f)
+		}
+
+		// Cloud tenants talk straight to the exchange: no gateway tier.
+		_, exPort := d.Ex.AcceptSession(s.OENIC().Addr(uint16(42000 + i)))
+		s.ConnectGateway(uint16(42000+i), d.Ex.OENIC().Addr(exPort))
+		d.Strats = append(d.Strats, s)
+	}
+	return d
+}
+
+// MeasureRoundTrip mirrors the other designs' measurement; the path is
+// exchange → cloud fabric → strategy → cloud fabric → exchange, one
+// software hop.
+func (d *Design2) MeasureRoundTrip(bursts int) RoundTrip {
+	rt := RoundTrip{
+		Design:       "Design 2 (cloud)",
+		SwitchHops:   0,
+		SoftwareHops: 1,
+		SoftwareTime: d.Scenario.FnLatency,
+	}
+	measure(d.Sched, d.Ex, d.Scenario, bursts, &rt)
+	return rt
+}
+
+// SkewStats summarizes cross-tenant delivery skew: for every datagram seen
+// by at least two tenants, max arrival minus min arrival.
+func (d *Design2) SkewStats() (maxSkew sim.Duration, samples int) {
+	for _, byTenant := range d.arrivals {
+		if len(byTenant) < 2 {
+			continue
+		}
+		var lo, hi sim.Time
+		first := true
+		for _, at := range byTenant {
+			if first {
+				lo, hi = at, at
+				first = false
+				continue
+			}
+			if at < lo {
+				lo = at
+			}
+			if at > hi {
+				hi = at
+			}
+		}
+		samples++
+		if s := hi.Sub(lo); s > maxSkew {
+			maxSkew = s
+		}
+	}
+	return maxSkew, samples
+}

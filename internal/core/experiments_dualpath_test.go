@@ -1,0 +1,147 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tradenet/internal/sim"
+)
+
+func TestRunDualPathWAN(t *testing.T) {
+	r := RunDualPathWAN(3000, 9)
+	// Arbitration heals everything: no gaps, all messages delivered.
+	if r.Messages != 3000 {
+		t.Fatalf("delivered %d of 3000", r.Messages)
+	}
+	if r.GapsAfterArbit != 0 {
+		t.Fatalf("gaps after arbitration = %d", r.GapsAfterArbit)
+	}
+	// The microwave path actually lost frames to rain.
+	if r.LostMicrowave == 0 {
+		t.Fatal("no rain losses: the test exercised nothing")
+	}
+	// Microwave wins in the clear (it is ~60µs faster on this pair), so it
+	// takes the large majority of wins; fiber only wins rained-out frames.
+	if r.MicrowaveWins <= r.FiberWins {
+		t.Fatalf("wins: mw=%d fiber=%d — microwave should dominate", r.MicrowaveWins, r.FiberWins)
+	}
+	if r.FiberWins == 0 {
+		t.Fatal("fiber never won: rain healing untested")
+	}
+	if r.FiberWins != r.LostMicrowave {
+		t.Fatalf("fiber wins (%d) should equal microwave losses (%d)", r.FiberWins, r.LostMicrowave)
+	}
+	// Latency: clear-weather median ≈ microwave propagation (~66µs);
+	// rain median is still microwave-dominated (98% of frames survive) but
+	// must not be faster than clear.
+	if r.ClearP50.Microseconds() < 60 || r.ClearP50.Microseconds() > 75 {
+		t.Fatalf("clear p50 = %v, want ≈66µs (microwave)", r.ClearP50)
+	}
+	if r.RainP50 < r.ClearP50 {
+		t.Fatalf("rain p50 (%v) should not beat clear (%v)", r.RainP50, r.ClearP50)
+	}
+	if !strings.Contains(r.String(), "arbitration") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestRunDualPathWANDeterministic(t *testing.T) {
+	a := RunDualPathWAN(1000, 5)
+	b := RunDualPathWAN(1000, 5)
+	if a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunColocation(t *testing.T) {
+	r := RunColocation(2*sim.Microsecond, 3)
+	if r.LocalTickToTrade <= 0 || r.RemoteTickToTrade <= 0 {
+		t.Fatalf("race incomplete: %+v", r)
+	}
+	if r.RemoteTickToTrade <= r.LocalTickToTrade {
+		t.Fatal("remote firm cannot beat the co-located firm")
+	}
+	// Advantage ≈ 2 × one-way WAN propagation, plus ~2.4µs because the
+	// 1 Gbps microwave link also serializes each frame 10× slower than the
+	// local 10G cross-connect — a second, smaller cost of being remote.
+	want := 2 * r.WANOneWay
+	diff := r.Advantage - want
+	if diff < 0 {
+		t.Fatalf("advantage %v below 2×propagation %v", r.Advantage, want)
+	}
+	if diff > 4*sim.Microsecond {
+		t.Fatalf("advantage = %v, want ≈%v + serialization", r.Advantage, want)
+	}
+	// Secaucus–Carteret microwave is ~66µs one-way: advantage ≈ 132µs.
+	if us := r.Advantage.Microseconds(); us < 120 || us > 145 {
+		t.Fatalf("advantage = %vµs, want ≈132µs", us)
+	}
+	if !strings.Contains(r.String(), "Colocation") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestWriteFigureCSVs(t *testing.T) {
+	dir := t.TempDir()
+	files, err := WriteFigureCSVs(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("files = %v", files)
+	}
+	// fig2b has 86400 rows + header; spot-check sizes and headers.
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) < 100 {
+			t.Fatalf("%s too small (%d bytes)", f, len(data))
+		}
+		if !strings.Contains(string(data[:64]), ",") {
+			t.Fatalf("%s missing CSV header", f)
+		}
+	}
+	lines := func(path string) int {
+		data, _ := os.ReadFile(path)
+		return strings.Count(string(data), "\n")
+	}
+	if n := lines(filepath.Join(dir, "fig2b.csv")); n != 86401 {
+		t.Fatalf("fig2b rows = %d", n)
+	}
+	if n := lines(filepath.Join(dir, "fig2c.csv")); n != 10001 {
+		t.Fatalf("fig2c rows = %d", n)
+	}
+	if n := lines(filepath.Join(dir, "fig2a.csv")); n != 1261 {
+		t.Fatalf("fig2a rows = %d", n)
+	}
+}
+
+func TestRunMetroNBBO(t *testing.T) {
+	r := RunMetroNBBO(200*sim.Millisecond, 7)
+	// The oracle never sees a locked/crossed market.
+	if r.OracleShare > 0.001 {
+		t.Fatalf("oracle share = %v", r.OracleShare)
+	}
+	// The skewed views do, microwave less than fiber (smaller skew).
+	if r.MicrowaveShare <= 0 {
+		t.Fatal("microwave view saw no phantom lock/cross")
+	}
+	if r.FiberShare <= r.MicrowaveShare {
+		t.Fatalf("fiber (%.4f) should be worse than microwave (%.4f)",
+			r.FiberShare, r.MicrowaveShare)
+	}
+	// Sanity: shares are small fractions, not majorities.
+	if r.MicrowaveShare > 0.5 || r.FiberShare > 0.8 {
+		t.Fatalf("shares implausible: mw=%v fiber=%v", r.MicrowaveShare, r.FiberShare)
+	}
+	if r.Transitions == 0 {
+		t.Fatal("no state transitions observed")
+	}
+	if !strings.Contains(r.String(), "phantom") {
+		t.Fatal("render incomplete")
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"tradenet/internal/sim"
+)
+
+func TestRunFilteredMerge(t *testing.T) {
+	r := RunFilteredMerge([]int{4}, 20, 5)
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	row := r.Rows[0]
+	if row.RawDropped == 0 {
+		t.Fatal("raw 4-way merge at ~2x line rate should drop")
+	}
+	if row.FilteredDropped != 0 {
+		t.Fatalf("filtered merge dropped %d", row.FilteredDropped)
+	}
+	// Filtered delivery is ~1/4 of the traffic (one group wanted).
+	if row.FilteredDelivered >= row.RawDelivered {
+		t.Fatal("filtering should reduce delivered volume")
+	}
+	if !strings.Contains(r.String(), "filtered") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestRunPlacement(t *testing.T) {
+	r := RunPlacement(4, 64, 4, 11, 10, 1)
+	if r.OptimizedMeanHops > r.BaselineMeanHops {
+		t.Fatalf("optimization worsened: %v → %v", r.BaselineMeanHops, r.OptimizedMeanHops)
+	}
+	if r.OptimizedMeanHops < r.LowerBoundHops {
+		t.Fatal("below lower bound")
+	}
+	// The §4.1 observation: the gap does not fully close.
+	if r.GapClosed > 0.9 {
+		t.Fatalf("gap closed %.2f — capacity constraints should bind", r.GapClosed)
+	}
+	if !strings.Contains(r.String(), "lower bound") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestRunGroupMapping(t *testing.T) {
+	r := RunGroupMapping(1024, 64, 50, 2)
+	if r.OptUnwanted >= r.NaiveUnwanted {
+		t.Fatalf("clustered mapping (%.2f) should beat naive (%.2f)",
+			r.OptUnwanted, r.NaiveUnwanted)
+	}
+	// With contiguous windows and modulo scattering, the naive mapping
+	// delivers mostly junk.
+	if r.NaiveUnwanted < 0.5 {
+		t.Fatalf("naive unwanted = %.2f, expected heavy waste", r.NaiveUnwanted)
+	}
+	if r.OptUnwanted > 0.2 {
+		t.Fatalf("clustered unwanted = %.2f, expected tight delivery", r.OptUnwanted)
+	}
+	if !strings.Contains(r.String(), "partitions") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestRunGroupMappingAmpleGroups(t *testing.T) {
+	// With one group per partition, both mappings deliver exactly what is
+	// wanted.
+	r := RunGroupMapping(64, 64, 10, 3)
+	if r.NaiveUnwanted != 0 || r.OptUnwanted != 0 {
+		t.Fatalf("ample groups should waste nothing: %v / %v", r.NaiveUnwanted, r.OptUnwanted)
+	}
+}
+
+func TestRunTimestampPrecision(t *testing.T) {
+	r := RunTimestampPrecision(5000, 4)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Inversions must be monotone nonincreasing as precision tightens.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Inversions > r.Rows[i-1].Inversions {
+			t.Fatalf("inversions rose with tighter sync: %+v", r.Rows)
+		}
+	}
+	// 1µs sync vs 80ns event spacing: heavy misordering.
+	if first := r.Rows[0]; float64(first.Inversions)/float64(first.Pairs) < 0.2 {
+		t.Fatalf("coarse sync misordered only %d/%d", first.Inversions, first.Pairs)
+	}
+	// 100ps sync (the §2 aspiration): effectively zero misordering.
+	if last := r.Rows[len(r.Rows)-1]; last.Inversions != 0 {
+		t.Fatalf("100ps sync misordered %d pairs", last.Inversions)
+	}
+	if !strings.Contains(r.String(), "sync precision") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestRunFilterPlacement(t *testing.T) {
+	r := RunFilterPlacement()
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// In-process cost scales linearly with consumers; middlebox cost has a
+	// fixed inspection component plus the same useful work.
+	if r.Rows[0].MiddleboxCores < r.Rows[0].InProcessCores {
+		t.Fatal("one consumer: middlebox cannot win")
+	}
+	last := r.Rows[len(r.Rows)-1]
+	if last.MiddleboxCores >= last.InProcessCores {
+		t.Fatal("32 consumers: middlebox must win")
+	}
+	// Crossover exists somewhere in between.
+	crossed := false
+	for _, row := range r.Rows {
+		if row.MiddleboxCores < row.InProcessCores {
+			crossed = true
+		}
+	}
+	if !crossed {
+		t.Fatal("no crossover found")
+	}
+	if !strings.Contains(r.String(), "winner") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestFilterPlacementInstance(t *testing.T) {
+	fp := filterPlacementInstance(10)
+	if fp.Consumers != 10 || fp.Rate != 1_000_000 {
+		t.Fatalf("instance = %+v", fp)
+	}
+	if fp.DiscardCost >= fp.ProcessCost {
+		t.Fatal("discarding should be cheaper than processing")
+	}
+	_ = sim.Nanosecond
+}
+
+func TestRunCorrelatedMerge(t *testing.T) {
+	r := RunCorrelatedMerge(4, 60, 12)
+	// At ~50% average load, only coincident bursts overload the merge;
+	// correlation makes them coincide, so loss must be far heavier.
+	// (p99 saturates at the queue depth in both cases, so loss is the
+	// discriminating metric.)
+	if r.CorrelatedDrops < 3*r.IndependentDrops {
+		t.Fatalf("correlated drops %d not ≫ independent %d",
+			r.CorrelatedDrops, r.IndependentDrops)
+	}
+	if r.IndependentDrops == 0 {
+		t.Fatal("independent run should still see occasional coincidences")
+	}
+	if !strings.Contains(r.String(), "multiplexing") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestRunCorePinning(t *testing.T) {
+	r := RunCorePinning(50, 8)
+	if r.Events == 0 {
+		t.Fatal("no events measured")
+	}
+	// With the OS sharing the event core, worst case inherits a 50µs
+	// housekeeping chunk; isolation bounds the tail to event self-queueing.
+	if r.SharedMax < 20*sim.Microsecond {
+		t.Fatalf("shared worst case %v too small to show blocking", r.SharedMax)
+	}
+	if r.PinnedMax*4 >= r.SharedMax {
+		t.Fatalf("isolated max %v should be far below shared max %v", r.PinnedMax, r.SharedMax)
+	}
+	if r.PinnedP99 > r.SharedP99 {
+		t.Fatalf("isolated p99 %v should not exceed shared %v", r.PinnedP99, r.SharedP99)
+	}
+	if !strings.Contains(r.String(), "Fig. 1d") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestRunStaleQuotes(t *testing.T) {
+	lats := []sim.Duration{2 * sim.Microsecond, 50 * sim.Microsecond}
+	r := RunStaleQuotes(lats, 10, 15*sim.Microsecond, 3)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	fast, slow := r.Rows[0], r.Rows[1]
+	// The fast quoter's reprice beats the 15µs aggressor every round; the
+	// slow quoter loses every race.
+	if fast.StaleFills != 0 {
+		t.Fatalf("fast quoter picked off %d times", fast.StaleFills)
+	}
+	if slow.StaleFills != uint64(slow.Moves) {
+		t.Fatalf("slow quoter picked off %d of %d", slow.StaleFills, slow.Moves)
+	}
+	// Both repriced at least once per move plus the initial quote.
+	if fast.Reprices < uint64(fast.Moves) || slow.Reprices < uint64(slow.Moves) {
+		t.Fatalf("reprices = %d / %d", fast.Reprices, slow.Reprices)
+	}
+	if !strings.Contains(r.String(), "picked off") {
+		t.Fatal("render incomplete")
+	}
+}

@@ -1,0 +1,135 @@
+// Package core is the paper's contribution as a library: it composes the
+// substrate packages into the three candidate trading-network designs
+// (§4.1–§4.3), runs them against the common scenario — on the order of a
+// thousand servers split into normalizers, strategies, and order gateways,
+// each software function under ~2 µs — and implements every experiment in
+// EXPERIMENTS.md (the paper's Table 1, Figure 2, and the quantitative
+// claims of §3–§4).
+package core
+
+import (
+	"fmt"
+
+	"tradenet/internal/market"
+	"tradenet/internal/sim"
+)
+
+// Scenario is the common workload and plant shape all designs run.
+type Scenario struct {
+	// Component counts (§4: "a few dozen each for normalizers and gateways
+	// and the rest for strategies" out of ~1,000 servers).
+	Normalizers int
+	Strategies  int
+	Gateways    int
+
+	// FnLatency is the per-software-function processing cost ("the average
+	// latency of each function is less than 2 microseconds").
+	FnLatency sim.Duration
+
+	// InternalPartitions is the normalized feed's partition count.
+	InternalPartitions int
+
+	// Symbols is the instrument count in the universe.
+	Symbols int
+
+	// BurstMessages is how many market-data messages each measurement run
+	// publishes.
+	BurstMessages int
+
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// PaperScenario returns the paper's full-scale scenario: ~1,000 servers.
+func PaperScenario() Scenario {
+	return Scenario{
+		Normalizers:        24,
+		Strategies:         940,
+		Gateways:           24,
+		FnLatency:          2 * sim.Microsecond,
+		InternalPartitions: 64,
+		Symbols:            26,
+		BurstMessages:      400,
+		Seed:               1,
+	}
+}
+
+// SmallScenario returns a reduced plant for fast tests and examples: the
+// same shape, two orders of magnitude fewer strategies.
+func SmallScenario() Scenario {
+	s := PaperScenario()
+	s.Strategies = 12
+	s.Normalizers = 2
+	s.Gateways = 2
+	s.InternalPartitions = 8
+	s.BurstMessages = 120
+	return s
+}
+
+// Servers returns the total server count.
+func (s Scenario) Servers() int { return s.Normalizers + s.Strategies + s.Gateways }
+
+// buildUniverse interns Symbols single-letter-prefixed tickers.
+func buildUniverse(n int) *market.Universe {
+	u := market.NewUniverse()
+	for i := 0; i < n; i++ {
+		ticker := fmt.Sprintf("%c%c%c", 'A'+i%26, 'A'+(i/26)%26, 'A'+(i/676)%26)
+		u.Add(ticker, market.Equity, 0)
+	}
+	return u
+}
+
+// RoundTrip is the outcome of one design's tick-to-trade measurement: the
+// full loop exchange → normalizer → strategy → gateway → exchange.
+type RoundTrip struct {
+	Design string
+	// Samples are tick-to-trade latencies: order accepted at the exchange
+	// minus the market-data frame's origin timestamp.
+	Samples []sim.Duration
+	// SwitchHops is the one-way-loop switch-hop count of the design.
+	SwitchHops int
+	// SoftwareHops is the number of software functions on the loop.
+	SoftwareHops int
+	// SoftwareTime is the known software cost on the loop (functions plus
+	// the exchange's matching latency).
+	SoftwareTime sim.Duration
+	// SwitchLatency is the loop's total in-switch forwarding latency (hop
+	// count × per-hop latency, plus merge stages) — the component the
+	// paper's §4.3 "two orders of magnitude" comparison is about.
+	SwitchLatency sim.Duration
+	// Orders is the number of orders the exchange accepted.
+	Orders int
+}
+
+// Mean returns the mean tick-to-trade latency.
+func (r RoundTrip) Mean() sim.Duration {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	var sum sim.Duration
+	for _, s := range r.Samples {
+		sum += s
+	}
+	return sum / sim.Duration(len(r.Samples))
+}
+
+// NetworkTime returns the mean time attributable to the network: total
+// minus the known software cost.
+func (r RoundTrip) NetworkTime() sim.Duration {
+	n := r.Mean() - r.SoftwareTime
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// NetworkShare returns the fraction of the round trip spent in the network
+// — the §4.1 punchline ("half of the overall time through the system is
+// spent in the network!").
+func (r RoundTrip) NetworkShare() float64 {
+	m := r.Mean()
+	if m <= 0 {
+		return 0
+	}
+	return float64(r.NetworkTime()) / float64(m)
+}

@@ -1,0 +1,102 @@
+package device
+
+import (
+	"fmt"
+
+	"tradenet/internal/netsim"
+	"tradenet/internal/sim"
+)
+
+// CloudEqualizerConfig parameterizes the Design 2 fabric (§4.2): a cloud
+// network "carefully engineered to equalize latency, thereby ensuring
+// fairness for all tenants".
+type CloudEqualizerConfig struct {
+	// BaseLatency is the cloud fabric's one-way transit latency — orders of
+	// magnitude above a colo cross-connect, the price of virtualized
+	// infrastructure.
+	BaseLatency sim.Duration
+	// Equalize pads every delivery to the slowest tenant's path. Disabling
+	// it models an ordinary cloud VPC (fast but unfair).
+	Equalize bool
+}
+
+// DefaultCloudConfig uses a public-cloud-realistic 50 µs base latency with
+// equalization on.
+func DefaultCloudConfig() CloudEqualizerConfig {
+	return CloudEqualizerConfig{BaseLatency: 50 * sim.Microsecond, Equalize: true}
+}
+
+// CloudEqualizer is a hub connecting one exchange port (index 0) to N
+// tenant ports, each with its own intrinsic path latency (tenants land in
+// different zones). With equalization on, an exchange frame reaches every
+// tenant at the same instant — base latency plus the slowest tenant path —
+// and tenant-to-exchange traffic is padded symmetrically, so no tenant's
+// placement confers an advantage in either direction.
+type CloudEqualizer struct {
+	Name  string
+	sched *sim.Scheduler
+	cfg   CloudEqualizerConfig
+	ports []*netsim.Port
+	// pathLat[i] is tenant port i's intrinsic path latency (index 0 unused).
+	pathLat []sim.Duration
+	maxLat  sim.Duration
+
+	Delivered uint64
+}
+
+// NewCloudEqualizer creates the hub with tenant path latencies given by
+// tenantLat (one per tenant port; ports are numbered 1..len(tenantLat)).
+func NewCloudEqualizer(sched *sim.Scheduler, name string, tenantLat []sim.Duration, cfg CloudEqualizerConfig) *CloudEqualizer {
+	c := &CloudEqualizer{Name: name, sched: sched, cfg: cfg}
+	c.pathLat = append([]sim.Duration{0}, tenantLat...)
+	for _, l := range tenantLat {
+		if l > c.maxLat {
+			c.maxLat = l
+		}
+	}
+	for i := 0; i <= len(tenantLat); i++ {
+		p := netsim.NewPort(sched, c, fmt.Sprintf("%s/p%d", name, i))
+		p.CutThrough = true
+		c.ports = append(c.ports, p)
+	}
+	return c
+}
+
+// ExchangePort returns the port facing the exchange.
+func (c *CloudEqualizer) ExchangePort() *netsim.Port { return c.ports[0] }
+
+// TenantPort returns tenant i's port (1-based).
+func (c *CloudEqualizer) TenantPort(i int) *netsim.Port { return c.ports[i] }
+
+// Tenants returns the tenant count.
+func (c *CloudEqualizer) Tenants() int { return len(c.ports) - 1 }
+
+// delay returns the transit delay applied to tenant i's traffic in either
+// direction.
+func (c *CloudEqualizer) delay(i int) sim.Duration {
+	if c.cfg.Equalize {
+		return c.cfg.BaseLatency + c.maxLat
+	}
+	return c.cfg.BaseLatency + c.pathLat[i]
+}
+
+// HandleFrame implements netsim.Handler. Exchange ingress multicasts to all
+// tenants; tenant ingress unicasts to the exchange.
+func (c *CloudEqualizer) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
+	if ingress == c.ports[0] {
+		for i := 1; i < len(c.ports); i++ {
+			out := c.ports[i]
+			c.Delivered++
+			c.sched.After(c.delay(i), func() { out.Send(f.Clone()) })
+		}
+		return
+	}
+	for i := 1; i < len(c.ports); i++ {
+		if c.ports[i] == ingress {
+			c.Delivered++
+			ex := c.ports[0]
+			c.sched.After(c.delay(i), func() { ex.Send(f) })
+			return
+		}
+	}
+}

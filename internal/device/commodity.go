@@ -1,0 +1,246 @@
+// Package device models the forwarding hardware the paper's designs choose
+// between: commodity cut-through switches with finite multicast state
+// (Design 1), Layer-1 switches with nanosecond fan-out and merge units
+// (Design 3), and a cloud latency equalizer (Design 2).
+package device
+
+import (
+	"fmt"
+
+	"tradenet/internal/netsim"
+	"tradenet/internal/pkt"
+	"tradenet/internal/sim"
+)
+
+// CommoditySwitchConfig parameterizes a merchant-silicon switch.
+type CommoditySwitchConfig struct {
+	// Latency is the port-to-port cut-through latency. Present-generation
+	// devices sit around 500 ns (§3).
+	Latency sim.Duration
+	// MrouteCapacity is the multicast route table size. When exceeded, new
+	// groups fall back to software forwarding (§3: overflow "cripples
+	// performance and induces heavy packet loss").
+	MrouteCapacity int
+	// SoftwareLatency is the per-frame latency of the software forwarding
+	// path used after table overflow.
+	SoftwareLatency sim.Duration
+	// SoftwarePPS caps the software path's forwarding rate in
+	// packets/second; excess arrivals are dropped.
+	SoftwarePPS int
+	// QueueBytes is the per-egress-port buffer (0 = netsim default).
+	QueueBytes int
+}
+
+// DefaultCommodityConfig returns a current-generation switch: ~500 ns
+// cut-through latency, a few thousand multicast routes, and a slow-path
+// in the tens of microseconds.
+func DefaultCommodityConfig() CommoditySwitchConfig {
+	return CommoditySwitchConfig{
+		Latency:         500 * sim.Nanosecond,
+		MrouteCapacity:  4096,
+		SoftwareLatency: 50 * sim.Microsecond,
+		SoftwarePPS:     50_000,
+		QueueBytes:      0,
+	}
+}
+
+// CommoditySwitch is a store-free cut-through Ethernet switch with a
+// unicast FIB and a capacity-limited multicast route table.
+type CommoditySwitch struct {
+	Name  string
+	sched *sim.Scheduler
+	cfg   CommoditySwitchConfig
+	ports []*netsim.Port
+
+	fib    map[pkt.MAC]*netsim.Port
+	mroute map[pkt.IP4][]*netsim.Port
+	// softGroups holds groups that arrived after the table filled.
+	softGroups map[pkt.IP4][]*netsim.Port
+	softBusy   sim.Time
+
+	// Stats.
+	Forwarded     uint64
+	SoftForwarded uint64
+	SoftDrops     uint64
+	UnknownDrops  uint64
+}
+
+// NewCommoditySwitch creates a switch with nports ports.
+func NewCommoditySwitch(sched *sim.Scheduler, name string, nports int, cfg CommoditySwitchConfig) *CommoditySwitch {
+	if cfg.Latency <= 0 {
+		panic("device: switch latency must be positive")
+	}
+	s := &CommoditySwitch{
+		Name:       name,
+		sched:      sched,
+		cfg:        cfg,
+		fib:        make(map[pkt.MAC]*netsim.Port),
+		mroute:     make(map[pkt.IP4][]*netsim.Port),
+		softGroups: make(map[pkt.IP4][]*netsim.Port),
+	}
+	for i := 0; i < nports; i++ {
+		p := netsim.NewPort(sched, s, fmt.Sprintf("%s/p%d", name, i))
+		p.CutThrough = true
+		if cfg.QueueBytes > 0 {
+			p.SetQueueCapacity(cfg.QueueBytes)
+		}
+		s.ports = append(s.ports, p)
+	}
+	return s
+}
+
+// Port returns port i.
+func (s *CommoditySwitch) Port(i int) *netsim.Port { return s.ports[i] }
+
+// Ports returns the port count.
+func (s *CommoditySwitch) Ports() int { return len(s.ports) }
+
+// Config returns the switch configuration.
+func (s *CommoditySwitch) Config() CommoditySwitchConfig { return s.cfg }
+
+// Learn programs the unicast FIB: frames for mac exit via port i.
+func (s *CommoditySwitch) Learn(mac pkt.MAC, i int) { s.fib[mac] = s.ports[i] }
+
+// JoinGroup adds egress port i to group's delivery set. It reports whether
+// the group is in the hardware table; false means the table was full and
+// the group is served by the software slow path.
+func (s *CommoditySwitch) JoinGroup(group pkt.IP4, i int) bool {
+	p := s.ports[i]
+	if lst, ok := s.mroute[group]; ok {
+		s.mroute[group] = appendUniquePort(lst, p)
+		return true
+	}
+	if lst, ok := s.softGroups[group]; ok {
+		s.softGroups[group] = appendUniquePort(lst, p)
+		return false
+	}
+	if len(s.mroute) < s.cfg.MrouteCapacity {
+		s.mroute[group] = []*netsim.Port{p}
+		return true
+	}
+	s.softGroups[group] = []*netsim.Port{p}
+	return false
+}
+
+func appendUniquePort(lst []*netsim.Port, p *netsim.Port) []*netsim.Port {
+	for _, q := range lst {
+		if q == p {
+			return lst
+		}
+	}
+	return append(lst, p)
+}
+
+// LeaveGroup removes egress port i from group's delivery set (in whichever
+// table holds it). The table entry itself is retained until the group has
+// no ports left, at which point the entry is deleted and — if it was a
+// hardware entry — its slot becomes reusable.
+func (s *CommoditySwitch) LeaveGroup(group pkt.IP4, i int) {
+	p := s.ports[i]
+	remove := func(lst []*netsim.Port) []*netsim.Port {
+		for j, q := range lst {
+			if q == p {
+				return append(lst[:j], lst[j+1:]...)
+			}
+		}
+		return lst
+	}
+	if lst, ok := s.mroute[group]; ok {
+		if lst = remove(lst); len(lst) == 0 {
+			delete(s.mroute, group)
+		} else {
+			s.mroute[group] = lst
+		}
+		return
+	}
+	if lst, ok := s.softGroups[group]; ok {
+		if lst = remove(lst); len(lst) == 0 {
+			delete(s.softGroups, group)
+		} else {
+			s.softGroups[group] = lst
+		}
+	}
+}
+
+// HardwareGroups returns the number of groups installed in the ASIC table.
+func (s *CommoditySwitch) HardwareGroups() int { return len(s.mroute) }
+
+// SoftwareGroups returns the number of overflowed groups.
+func (s *CommoditySwitch) SoftwareGroups() int { return len(s.softGroups) }
+
+// HandleFrame implements netsim.Handler: look up the egress set, charge
+// the pipeline latency, and enqueue on the egress ports.
+func (s *CommoditySwitch) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
+	var eth pkt.Ethernet
+	if _, err := eth.Decode(f.Data); err != nil {
+		s.UnknownDrops++
+		return
+	}
+	if eth.Dst.IsMulticast() {
+		s.forwardMulticast(ingress, f, eth.Dst)
+		return
+	}
+	out, ok := s.fib[eth.Dst]
+	if !ok {
+		s.UnknownDrops++
+		return
+	}
+	if out == ingress {
+		return // hairpin suppressed
+	}
+	s.Forwarded++
+	s.sched.After(s.cfg.Latency, func() { out.Send(f) })
+}
+
+func (s *CommoditySwitch) forwardMulticast(ingress *netsim.Port, f *netsim.Frame, dst pkt.MAC) {
+	// Invert the RFC 1112 mapping ambiguity by scanning installed groups:
+	// the table is keyed by IP group, frames carry the derived MAC. IP
+	// parsing gives the exact group.
+	var uf pkt.UDPFrame
+	if err := pkt.ParseUDPFrame(f.Data, &uf); err != nil {
+		s.UnknownDrops++
+		return
+	}
+	group := uf.IP.Dst
+	if outs, ok := s.mroute[group]; ok {
+		s.Forwarded++
+		s.sched.After(s.cfg.Latency, func() {
+			for _, out := range outs {
+				if out == ingress {
+					continue
+				}
+				out.Send(f.Clone())
+			}
+		})
+		return
+	}
+	outs, ok := s.softGroups[group]
+	if !ok {
+		s.UnknownDrops++
+		return
+	}
+	// Software slow path: a CPU forwards one frame at a time at
+	// SoftwarePPS; arrivals beyond the queue-free service rate drop. This
+	// is the §3 overflow cliff.
+	now := s.sched.Now()
+	service := sim.Duration(int64(sim.Second) / int64(s.cfg.SoftwarePPS))
+	if s.softBusy < now {
+		s.softBusy = now
+	}
+	// Allow a short CPU backlog (16 frames); beyond it, drop.
+	if s.softBusy.Sub(now) > 16*service {
+		s.SoftDrops++
+		return
+	}
+	start := s.softBusy
+	s.softBusy = start.Add(service)
+	s.SoftForwarded++
+	s.sched.At(start.Add(s.cfg.SoftwareLatency), func() {
+		for _, out := range outs {
+			if out == ingress {
+				continue
+			}
+			out.Send(f.Clone())
+		}
+	})
+}

@@ -1,0 +1,160 @@
+package device
+
+import (
+	"testing"
+
+	"tradenet/internal/netsim"
+	"tradenet/internal/pkt"
+	"tradenet/internal/sim"
+	"tradenet/internal/units"
+)
+
+func TestFilteringL1SForwardsAt100ns(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	sw := NewFilteringL1Switch(sched, "fl1s", 2, DefaultFilteringL1Config())
+	sw.Circuit(0, 1)
+	tx := netsim.NewPort(sched, nil, "tx")
+	netsim.Connect(tx, sw.Port(0), units.Rate10G, 0)
+	s := newSink(sched, "rx")
+	netsim.Connect(sw.Port(1), s.port, units.Rate10G, 0)
+
+	grp := pkt.MulticastGroup(1, 1)
+	f := udpFrame(pkt.UDPAddr{MAC: pkt.MulticastMAC(grp), IP: grp, Port: 9}, 100)
+	wire := len(f.Data)
+	sched.At(0, func() { tx.Send(f) })
+	sched.Run()
+	ser := sim.Time(units.SerializationDelay(pkt.WireSize(wire)+netsim.FrameOverheadBytes, units.Rate10G))
+	if want := ser + sim.Time(100*sim.Nanosecond); s.at[0] != want {
+		t.Fatalf("arrival = %v, want %v", s.at[0], want)
+	}
+}
+
+func TestFilteringL1SDropsUnsubscribedGroups(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	sw := NewFilteringL1Switch(sched, "fl1s", 3, DefaultFilteringL1Config())
+	sw.Circuit(0, 2)
+	sw.Circuit(1, 2)
+	tx0 := netsim.NewPort(sched, nil, "tx0")
+	tx1 := netsim.NewPort(sched, nil, "tx1")
+	netsim.Connect(tx0, sw.Port(0), units.Rate10G, 0)
+	netsim.Connect(tx1, sw.Port(1), units.Rate10G, 0)
+	s := newSink(sched, "rx")
+	netsim.Connect(sw.Port(2), s.port, units.Rate10G, 0)
+
+	want := pkt.MulticastGroup(1, 1)
+	junk := pkt.MulticastGroup(1, 2)
+	if !sw.Subscribe(2, want) {
+		t.Fatal("subscribe failed")
+	}
+	sched.At(0, func() {
+		tx0.Send(udpFrame(pkt.UDPAddr{MAC: pkt.MulticastMAC(want), IP: want, Port: 9}, 100))
+		tx1.Send(udpFrame(pkt.UDPAddr{MAC: pkt.MulticastMAC(junk), IP: junk, Port: 9}, 100))
+	})
+	sched.Run()
+	if len(s.frames) != 1 {
+		t.Fatalf("delivered %d, want 1 (junk filtered)", len(s.frames))
+	}
+	if sw.FilteredOut != 1 {
+		t.Fatalf("filtered = %d", sw.FilteredOut)
+	}
+}
+
+func TestFilteringL1SPassesAllWithNoEntries(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	sw := NewFilteringL1Switch(sched, "fl1s", 2, DefaultFilteringL1Config())
+	sw.Circuit(0, 1)
+	tx := netsim.NewPort(sched, nil, "tx")
+	netsim.Connect(tx, sw.Port(0), units.Rate10G, 0)
+	s := newSink(sched, "rx")
+	netsim.Connect(sw.Port(1), s.port, units.Rate10G, 0)
+	// No Subscribe calls: the egress behaves as a pure circuit, unicast
+	// frames included.
+	sched.At(0, func() {
+		tx.Send(udpFrame(pkt.UDPAddr{MAC: pkt.HostMAC(9), IP: pkt.HostIP(9), Port: 9}, 80))
+		g := pkt.MulticastGroup(1, 7)
+		tx.Send(udpFrame(pkt.UDPAddr{MAC: pkt.MulticastMAC(g), IP: g, Port: 9}, 80))
+	})
+	sched.Run()
+	if len(s.frames) != 2 {
+		t.Fatalf("delivered %d, want 2", len(s.frames))
+	}
+}
+
+func TestFilteringL1STableCapacity(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	cfg := DefaultFilteringL1Config()
+	cfg.TableCapacity = 3
+	sw := NewFilteringL1Switch(sched, "fl1s", 2, cfg)
+	for i := 0; i < 3; i++ {
+		if !sw.Subscribe(1, pkt.MulticastGroup(1, uint16(i))) {
+			t.Fatalf("entry %d should fit", i)
+		}
+	}
+	if sw.Subscribe(1, pkt.MulticastGroup(1, 99)) {
+		t.Fatal("fourth entry should be rejected (small tables, §5)")
+	}
+	// Duplicate subscribe is idempotent and free.
+	if !sw.Subscribe(1, pkt.MulticastGroup(1, 0)) {
+		t.Fatal("duplicate subscribe should succeed")
+	}
+	if sw.Entries() != 3 {
+		t.Fatalf("entries = %d", sw.Entries())
+	}
+}
+
+// TestFilteredMergeIsSafe is the §5 punchline: merging k bursty feeds
+// overruns a 10G output, but filtering each feed down to the subscriber's
+// share first keeps the merged rate below line rate — same fan-in, no loss.
+func TestFilteredMergeIsSafe(t *testing.T) {
+	run := func(filter bool) (delivered, dropped uint64) {
+		sched := sim.NewScheduler(5)
+		cfg := DefaultFilteringL1Config()
+		cfg.MergeQueueBytes = 64 * 1024
+		const k = 4
+		sw := NewFilteringL1Switch(sched, "fl1s", k+1, cfg)
+		s := newSink(sched, "rx")
+		netsim.Connect(sw.Port(k), s.port, units.Rate10G, 0)
+
+		groups := make([]pkt.IP4, k)
+		for i := range groups {
+			groups[i] = pkt.MulticastGroup(1, uint16(i))
+		}
+		if filter {
+			// The strategy only wants feed 0's partition.
+			sw.Subscribe(k, groups[0])
+		}
+		for i := 0; i < k; i++ {
+			tx := netsim.NewPort(sched, nil, "tx")
+			tx.SetQueueCapacity(1 << 26)
+			netsim.Connect(tx, sw.Port(i), units.Rate10G, 0)
+			sw.Circuit(i, k)
+			g := groups[i]
+			txp := tx
+			// Each feed offers ~40% of line rate: merged 160%, overload.
+			for j := 0; j < 2000; j++ {
+				at := sim.Time(j) * sim.Time(1200*sim.Nanosecond)
+				sched.At(at, func() {
+					dst := pkt.UDPAddr{MAC: pkt.MulticastMAC(g), IP: g, Port: 9}
+					txp.Send(&netsim.Frame{
+						Data:   pkt.AppendUDPFrame(nil, pkt.UDPAddr{MAC: pkt.HostMAC(1), IP: pkt.HostIP(1), Port: 1}, dst, 0, make([]byte, 558)),
+						Origin: sched.Now(),
+					})
+				})
+			}
+		}
+		sched.Run()
+		return sw.Port(k).TxFrames, sw.Port(k).Drops
+	}
+
+	_, droppedRaw := run(false)
+	deliveredF, droppedF := run(true)
+	if droppedRaw == 0 {
+		t.Fatal("unfiltered merge at 160% load should drop")
+	}
+	if droppedF != 0 {
+		t.Fatalf("filtered merge dropped %d", droppedF)
+	}
+	if deliveredF != 2000 {
+		t.Fatalf("filtered merge delivered %d, want exactly feed 0's 2000", deliveredF)
+	}
+}

@@ -1,0 +1,54 @@
+package device
+
+import (
+	"tradenet/internal/sim"
+	"tradenet/internal/units"
+)
+
+// Generation describes one commodity-switch hardware generation — the §3
+// trend data: per-generation bandwidth roughly doubles, cut-through latency
+// creeps up (~20% over the decade, to ~500 ns), and multicast group
+// capacity grows only ~80% across the same span while market data grew
+// ~500%.
+type Generation struct {
+	Year        int
+	Latency     sim.Duration
+	McastGroups int
+	// ASICBandwidth is the switching capacity of the generation's ASIC.
+	ASICBandwidth units.Bandwidth
+}
+
+// Generations lists a decade of representative merchant-silicon devices,
+// oldest first.
+var Generations = []Generation{
+	{Year: 2014, Latency: 420 * sim.Nanosecond, McastGroups: 2800, ASICBandwidth: 1280 * units.Gbps},
+	{Year: 2017, Latency: 450 * sim.Nanosecond, McastGroups: 3300, ASICBandwidth: 3200 * units.Gbps},
+	{Year: 2020, Latency: 475 * sim.Nanosecond, McastGroups: 4100, ASICBandwidth: 6400 * units.Gbps},
+	{Year: 2023, Latency: 500 * sim.Nanosecond, McastGroups: 5000, ASICBandwidth: 12800 * units.Gbps},
+}
+
+// Config returns a CommoditySwitchConfig for the generation.
+func (g Generation) Config() CommoditySwitchConfig {
+	cfg := DefaultCommodityConfig()
+	cfg.Latency = g.Latency
+	cfg.MrouteCapacity = g.McastGroups
+	return cfg
+}
+
+// LatencyGrowth returns newest latency / oldest latency across Generations.
+func LatencyGrowth() float64 {
+	first, last := Generations[0], Generations[len(Generations)-1]
+	return float64(last.Latency) / float64(first.Latency)
+}
+
+// McastGroupGrowth returns newest group capacity / oldest.
+func McastGroupGrowth() float64 {
+	first, last := Generations[0], Generations[len(Generations)-1]
+	return float64(last.McastGroups) / float64(first.McastGroups)
+}
+
+// BandwidthGrowth returns newest ASIC bandwidth / oldest.
+func BandwidthGrowth() float64 {
+	first, last := Generations[0], Generations[len(Generations)-1]
+	return float64(last.ASICBandwidth) / float64(first.ASICBandwidth)
+}

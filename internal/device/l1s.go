@@ -1,0 +1,152 @@
+package device
+
+import (
+	"fmt"
+
+	"tradenet/internal/netsim"
+	"tradenet/internal/sim"
+)
+
+// L1SwitchConfig parameterizes a Layer-1 switch (Arista 7130-class, §4.3).
+type L1SwitchConfig struct {
+	// FanoutLatency is the input-to-output latency of a pure circuit path:
+	// "only 5–6 nanoseconds".
+	FanoutLatency sim.Duration
+	// MergeLatency is the additional latency of the media-access merge
+	// unit: "at the expense of an additional 50 nanoseconds".
+	MergeLatency sim.Duration
+	// MergeQueueBytes bounds the merge unit's buffer. Merged bursty feeds
+	// "can easily exceed the available bandwidth, leading to latency from
+	// queuing or packet loss" — the buffer is where that happens.
+	MergeQueueBytes int
+}
+
+// DefaultL1SConfig returns the paper's cited characteristics.
+func DefaultL1SConfig() L1SwitchConfig {
+	return L1SwitchConfig{
+		FanoutLatency:   5 * sim.Nanosecond,
+		MergeLatency:    50 * sim.Nanosecond,
+		MergeQueueBytes: 64 * 1024,
+	}
+}
+
+// L1Switch is a Layer-1 crossbar: it forwards the physical signal from any
+// input port to any configured set of output ports. It cannot classify or
+// filter packets (it never parses them), cannot split traffic across paths,
+// and — via its merge unit — can combine several inputs onto one output.
+// It timestamps every frame it forwards ("built-in accurate timestamping").
+type L1Switch struct {
+	Name  string
+	sched *sim.Scheduler
+	cfg   L1SwitchConfig
+	ports []*netsim.Port
+
+	// fanout maps an ingress port index to its configured egress set.
+	fanout map[int][]int
+	// merged marks egress ports fed by more than one ingress (or
+	// explicitly configured as merge outputs): traffic to them passes the
+	// merge unit.
+	merged map[int]bool
+
+	// Timestamp, if set, observes every forwarded frame with the hardware
+	// timestamp taken at ingress.
+	Timestamp func(ingressPort int, f *netsim.Frame, at sim.Time)
+
+	// Stats.
+	Forwarded uint64
+	NoRoute   uint64
+}
+
+// NewL1Switch creates an L1 switch with nports ports and no circuits.
+func NewL1Switch(sched *sim.Scheduler, name string, nports int, cfg L1SwitchConfig) *L1Switch {
+	if cfg.FanoutLatency <= 0 {
+		panic("device: L1S fanout latency must be positive")
+	}
+	s := &L1Switch{
+		Name:   name,
+		sched:  sched,
+		cfg:    cfg,
+		fanout: make(map[int][]int),
+		merged: make(map[int]bool),
+	}
+	for i := 0; i < nports; i++ {
+		p := netsim.NewPort(sched, s, fmt.Sprintf("%s/p%d", name, i))
+		p.CutThrough = true
+		s.ports = append(s.ports, p)
+	}
+	return s
+}
+
+// Port returns port i.
+func (s *L1Switch) Port(i int) *netsim.Port { return s.ports[i] }
+
+// Ports returns the port count.
+func (s *L1Switch) Ports() int { return len(s.ports) }
+
+// Config returns the switch configuration.
+func (s *L1Switch) Config() L1SwitchConfig { return s.cfg }
+
+// Circuit configures ingress port in to replicate to every port in outs.
+// Calling it again for the same ingress replaces the set. Egress ports fed
+// by multiple ingresses become merge outputs automatically.
+func (s *L1Switch) Circuit(in int, outs ...int) {
+	s.fanout[in] = append([]int(nil), outs...)
+	s.recomputeMerges()
+}
+
+func (s *L1Switch) recomputeMerges() {
+	feeders := make(map[int]int)
+	for _, outs := range s.fanout {
+		for _, o := range outs {
+			feeders[o]++
+		}
+	}
+	s.merged = make(map[int]bool)
+	for o, n := range feeders {
+		if n > 1 {
+			s.merged[o] = true
+			s.ports[o].SetQueueCapacity(s.cfg.MergeQueueBytes)
+		}
+	}
+}
+
+// IsMergeOutput reports whether egress port i passes the merge unit.
+func (s *L1Switch) IsMergeOutput(i int) bool { return s.merged[i] }
+
+func (s *L1Switch) portIndex(p *netsim.Port) int {
+	for i, q := range s.ports {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// HandleFrame implements netsim.Handler: replicate to the circuit's egress
+// set with the configured latencies. The frame is never parsed — an L1S is
+// bit-level — so there is no classification, no filtering, and no FIB.
+func (s *L1Switch) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
+	in := s.portIndex(ingress)
+	outs := s.fanout[in]
+	if len(outs) == 0 {
+		s.NoRoute++
+		return
+	}
+	now := s.sched.Now()
+	if s.Timestamp != nil {
+		s.Timestamp(in, f, now)
+	}
+	s.Forwarded++
+	for _, o := range outs {
+		lat := s.cfg.FanoutLatency
+		if s.merged[o] {
+			lat += s.cfg.MergeLatency
+		}
+		out := s.ports[o]
+		ff := f
+		if len(outs) > 1 {
+			ff = f.Clone()
+		}
+		s.sched.After(lat, func() { out.Send(ff) })
+	}
+}

@@ -1,0 +1,384 @@
+// Package exchange implements the venue side of the trading plant: per-
+// symbol matching engines, a sequenced multicast market-data publisher in
+// the exchange's own binary format, and order-entry ports speaking the
+// BOE-style protocol over the simulated network (§2).
+package exchange
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tradenet/internal/feed"
+	"tradenet/internal/market"
+	"tradenet/internal/mcast"
+	"tradenet/internal/netsim"
+	"tradenet/internal/orderentry"
+	"tradenet/internal/pkt"
+	"tradenet/internal/sim"
+)
+
+// MDPort is the UDP destination port market data is published to.
+const MDPort = 30001
+
+// OEBasePort is the first TCP port used for order-entry sessions.
+const OEBasePort = 17000
+
+// Config parameterizes an exchange.
+type Config struct {
+	ID      market.ExchangeID
+	Name    string
+	Variant *feed.Variant
+	// MatchLatency is the engine's order-in to response-out processing
+	// time.
+	MatchLatency sim.Duration
+	// HostID seeds the exchange's NIC addressing.
+	HostID uint32
+}
+
+// Exchange is one venue.
+type Exchange struct {
+	cfg   Config
+	sched *sim.Scheduler
+	u     *market.Universe
+
+	host  *netsim.Host
+	mdNIC *netsim.NIC
+	oeNIC *netsim.NIC
+	mux   *netsim.StreamMux
+
+	books   map[market.SymbolID]*market.Book
+	partMap *mcast.Map
+	packers []*feed.Packer
+	retain  []*feed.RetainBuffer
+	recSrv  *feed.RecoveryServer
+
+	nextExchangeOrderID market.OrderID
+	nextExecID          uint64
+	nextOEPort          uint16
+	// order ownership: exchange order id → originating session + client id.
+	owners map[market.OrderID]ownerRef
+
+	// Published counts market-data datagrams sent.
+	Published uint64
+
+	// OnOrderAccepted, if set, fires when the matching engine admits a new
+	// order (after MatchLatency) — the measurement point for round-trip
+	// latency experiments.
+	OnOrderAccepted func(m *orderentry.Msg, at sim.Time)
+
+	scratch []byte
+	ipID    uint16
+}
+
+type ownerRef struct {
+	sess     *orderentry.ExchangeSession
+	clientID uint64
+}
+
+// New creates an exchange over universe u, publishing feed partitions per
+// pmap. Its host exposes two NICs: market data (multicast out) and order
+// entry.
+func New(sched *sim.Scheduler, u *market.Universe, pmap *mcast.Map, cfg Config) *Exchange {
+	e := &Exchange{
+		cfg:        cfg,
+		sched:      sched,
+		u:          u,
+		books:      make(map[market.SymbolID]*market.Book),
+		partMap:    pmap,
+		owners:     make(map[market.OrderID]ownerRef),
+		nextOEPort: OEBasePort,
+	}
+	e.host = netsim.NewHost(sched, cfg.Name)
+	e.mdNIC = e.host.AddNIC("md", cfg.HostID)
+	e.oeNIC = e.host.AddNIC("oe", cfg.HostID+1)
+	e.mux = netsim.NewStreamMux(e.oeNIC)
+	for i := 0; i < pmap.Partitioner().Partitions(); i++ {
+		e.packers = append(e.packers, feed.NewPacker(cfg.Variant, uint8(i)))
+		e.retain = append(e.retain, feed.NewRetainBuffer(uint8(i), RetainDgrams))
+	}
+	e.recSrv = feed.NewRecoveryServer(e.retain...)
+	return e
+}
+
+// RetainDgrams is the per-partition replay window served to gap-recovery
+// clients.
+const RetainDgrams = 4096
+
+// RecoveryServer exposes the exchange's gap-recovery service; callers wire
+// its Receive to an order-entry-style stream (real feeds run it on a
+// dedicated TCP endpoint).
+func (e *Exchange) RecoveryServer() *feed.RecoveryServer { return e.recSrv }
+
+// AcceptRecoverySession provisions a gap-recovery stream endpoint on the
+// order-entry NIC and returns the TCP port clients should dial.
+func (e *Exchange) AcceptRecoverySession(clientAddr pkt.UDPAddr) uint16 {
+	port := e.nextOEPort
+	e.nextOEPort++
+	stream := netsim.NewStream(e.oeNIC, port, clientAddr)
+	stream.OnData = func(b []byte) {
+		e.recSrv.Receive(b, func(resp []byte) { stream.Write(resp) })
+	}
+	e.mux.Register(stream)
+	return port
+}
+
+// ID returns the exchange's id.
+func (e *Exchange) ID() market.ExchangeID { return e.cfg.ID }
+
+// Name returns the exchange's name.
+func (e *Exchange) Name() string { return e.cfg.Name }
+
+// MDNIC returns the market-data NIC (to connect into the fabric).
+func (e *Exchange) MDNIC() *netsim.NIC { return e.mdNIC }
+
+// OENIC returns the order-entry NIC.
+func (e *Exchange) OENIC() *netsim.NIC { return e.oeNIC }
+
+// PartitionMap returns the feed partition→group mapping.
+func (e *Exchange) PartitionMap() *mcast.Map { return e.partMap }
+
+// Book returns (creating if needed) the book for a symbol.
+func (e *Exchange) Book(id market.SymbolID) *market.Book {
+	b, ok := e.books[id]
+	if !ok {
+		b = market.NewBook(id)
+		e.books[id] = b
+	}
+	return b
+}
+
+// BBO returns the exchange's current best bid/offer for a symbol.
+func (e *Exchange) BBO(id market.SymbolID) market.BBO { return e.Book(id).BBO() }
+
+// AcceptSession provisions an exchange-side order-entry session reachable at
+// the returned TCP port. The matching engine responds after MatchLatency.
+func (e *Exchange) AcceptSession(clientAddr pkt.UDPAddr) (*orderentry.ExchangeSession, uint16) {
+	port := e.nextOEPort
+	e.nextOEPort++
+	stream := netsim.NewStream(e.oeNIC, port, clientAddr)
+	sess := orderentry.NewExchangeSession(func(b []byte) { stream.Write(b) })
+	stream.OnData = func(b []byte) {
+		if err := sess.Receive(b); err != nil {
+			panic(fmt.Sprintf("%s: order session: %v", e.cfg.Name, err))
+		}
+	}
+	e.mux.Register(stream)
+
+	sess.Validate = e.validate
+	sess.OnNew = func(m *orderentry.Msg) {
+		req := *m
+		e.sched.After(e.cfg.MatchLatency, func() { e.execNew(sess, &req) })
+	}
+	sess.OnCancel = func(m *orderentry.Msg) {
+		req := *m
+		e.sched.After(e.cfg.MatchLatency, func() { e.execCancel(sess, &req) })
+	}
+	sess.OnModify = func(m *orderentry.Msg) {
+		req := *m
+		e.sched.After(e.cfg.MatchLatency, func() { e.execModify(sess, &req) })
+	}
+	return sess, port
+}
+
+func (e *Exchange) validate(m *orderentry.Msg) orderentry.RejectReason {
+	if m.Symbol == 0 || int(m.Symbol) > e.u.Len() {
+		return orderentry.RejectUnknownSymbol
+	}
+	if m.Qty <= 0 {
+		return orderentry.RejectBadQty
+	}
+	if m.Price <= 0 {
+		return orderentry.RejectBadPrice
+	}
+	return orderentry.RejectNone
+}
+
+func (e *Exchange) execNew(sess *orderentry.ExchangeSession, m *orderentry.Msg) {
+	if e.OnOrderAccepted != nil {
+		e.OnOrderAccepted(m, e.sched.Now())
+	}
+	e.nextExchangeOrderID++
+	exID := e.nextExchangeOrderID
+	e.owners[exID] = ownerRef{sess: sess, clientID: m.OrderID}
+	sess.Ack(m.OrderID, uint64(exID))
+
+	book := e.Book(m.Symbol)
+	fills := book.Add(market.Order{ID: exID, Symbol: m.Symbol, Side: m.Side, Price: m.Price, Qty: m.Qty})
+	e.publishAdd(m, exID, fills)
+	e.reportFills(m.Symbol, fills)
+}
+
+func (e *Exchange) execCancel(sess *orderentry.ExchangeSession, m *orderentry.Msg) {
+	// Find the exchange order belonging to this client id and session.
+	exID, ok := e.findOrder(sess, m.OrderID)
+	if !ok {
+		// The §2 race: the order already filled (or never existed).
+		sess.CancelReject(m.OrderID)
+		return
+	}
+	sym := e.orderSymbol(exID)
+	if !e.Book(sym).Cancel(exID) {
+		sess.CancelReject(m.OrderID)
+		return
+	}
+	sess.CancelAck(m.OrderID)
+	e.publish(sym, &feed.Msg{
+		Type: feed.MsgDeleteOrder, TimeNs: e.timeNs(), OrderID: uint64(exID),
+	})
+	delete(e.owners, exID)
+}
+
+func (e *Exchange) execModify(sess *orderentry.ExchangeSession, m *orderentry.Msg) {
+	exID, ok := e.findOrder(sess, m.OrderID)
+	if !ok {
+		sess.CancelReject(m.OrderID)
+		return
+	}
+	book := e.Book(m.Symbol)
+	fills, live := book.Modify(exID, m.Price, m.Qty)
+	if !live {
+		sess.CancelReject(m.OrderID)
+		return
+	}
+	sess.ModifyAck(m.OrderID)
+	e.publish(m.Symbol, &feed.Msg{
+		Type: feed.MsgModifyOrder, TimeNs: e.timeNs(), OrderID: uint64(exID),
+		Qty: uint32(m.Qty), Price: uint64(m.Price),
+	})
+	e.reportFills(m.Symbol, fills)
+}
+
+// findOrder maps a (session, client id) to a live exchange order id. Linear
+// in open orders per call only for cancels/modifies, which is acceptable at
+// simulation scale.
+func (e *Exchange) findOrder(sess *orderentry.ExchangeSession, clientID uint64) (market.OrderID, bool) {
+	for exID, ref := range e.owners {
+		if ref.sess == sess && ref.clientID == clientID {
+			return exID, true
+		}
+	}
+	return 0, false
+}
+
+// orderSymbol finds which book holds exID. Exchange order ids are unique
+// across symbols, so scan the books.
+func (e *Exchange) orderSymbol(exID market.OrderID) market.SymbolID {
+	for sym, b := range e.books {
+		if _, ok := b.Lookup(exID); ok {
+			return sym
+		}
+	}
+	// Already removed from the book: fall back to scanning owners (the
+	// publisher only needs a partition; symbol 1 routes deterministically).
+	return 1
+}
+
+func (e *Exchange) reportFills(sym market.SymbolID, fills []market.Fill) {
+	for _, fl := range fills {
+		e.nextExecID++
+		// Notify both sides if they are session-backed.
+		for _, oid := range []market.OrderID{fl.Resting} {
+			if ref, ok := e.owners[oid]; ok {
+				ref.sess.Fill(ref.clientID, fl.Qty, fl.Price)
+				// Remove fully filled resting orders from ownership.
+				if _, live := e.Book(sym).Lookup(oid); !live {
+					delete(e.owners, oid)
+				}
+			}
+		}
+		if ref, ok := e.owners[marketIncoming(fl)]; ok {
+			ref.sess.Fill(ref.clientID, fl.Qty, fl.Price)
+			if _, live := e.Book(sym).Lookup(marketIncoming(fl)); !live {
+				delete(e.owners, marketIncoming(fl))
+			}
+		}
+		e.publish(sym, &feed.Msg{
+			Type: feed.MsgOrderExecuted, TimeNs: e.timeNs(),
+			OrderID: uint64(fl.Resting), Qty: uint32(fl.Qty), ExecID: e.nextExecID,
+		})
+	}
+}
+
+func marketIncoming(fl market.Fill) market.OrderID { return fl.Incoming }
+
+func (e *Exchange) publishAdd(m *orderentry.Msg, exID market.OrderID, fills []market.Fill) {
+	var rem market.Qty = m.Qty
+	for _, fl := range fills {
+		rem -= fl.Qty
+	}
+	if rem <= 0 {
+		return // fully matched on arrival: no resting add appears
+	}
+	msg := feed.Msg{
+		Type: feed.MsgAddOrder, TimeNs: e.timeNs(), OrderID: uint64(exID),
+		Side: m.Side, Qty: uint32(rem), Price: uint64(m.Price),
+	}
+	msg.SetSymbol(e.u.Get(m.Symbol).Ticker)
+	e.publish(m.Symbol, &msg)
+}
+
+func (e *Exchange) timeNs() uint32 {
+	return uint32(int64(e.sched.Now()/sim.Time(sim.Nanosecond)) % 1_000_000_000)
+}
+
+// publish encodes msg onto the symbol's partition and transmits the
+// datagram immediately (one message per datagram at match-time; bursts
+// coalesce through PublishBurst).
+func (e *Exchange) publish(sym market.SymbolID, msg *feed.Msg) {
+	part := e.partMap.Partitioner().Partition(sym)
+	p := e.packers[part]
+	if !p.Add(msg) {
+		e.flush(part)
+		p.Add(msg)
+	}
+	e.flush(part)
+}
+
+func (e *Exchange) flush(part int) {
+	group := e.partMap.GroupByIndex(part)
+	dst := pkt.UDPAddr{MAC: pkt.MulticastMAC(group), IP: group, Port: MDPort}
+	src := e.mdNIC.Addr(MDPort)
+	e.packers[part].Flush(func(dgram []byte) {
+		e.retain[part].Retain(dgram)
+		e.ipID++
+		e.scratch = pkt.AppendUDPFrame(e.scratch[:0], src, dst, e.ipID, dgram)
+		e.mdNIC.SendBytes(e.scratch)
+		e.Published++
+	})
+}
+
+// PublishBurst generates n synthetic market-data messages across random
+// symbols and publishes them packed per partition — the headless mode
+// feed-driven experiments use, bypassing the matching engine.
+func (e *Exchange) PublishBurst(rng *rand.Rand, n int) {
+	types := []feed.MsgType{feed.MsgAddOrder, feed.MsgDeleteOrder, feed.MsgOrderExecuted, feed.MsgModifyOrder}
+	touched := make(map[int]bool)
+	var msg feed.Msg
+	for i := 0; i < n; i++ {
+		sym := market.SymbolID(1 + rng.Intn(e.u.Len()))
+		msg = feed.Msg{
+			Type:    types[rng.Intn(len(types))],
+			TimeNs:  e.timeNs(),
+			OrderID: rng.Uint64(),
+			Qty:     uint32(1 + rng.Intn(300)),
+			Price:   uint64(10000 + rng.Intn(100000)),
+		}
+		if msg.Type == feed.MsgAddOrder {
+			msg.Side = market.Side(rng.Intn(2))
+			msg.SetSymbol(e.u.Get(sym).Ticker)
+		}
+		part := e.partMap.Partitioner().Partition(sym)
+		if !e.packers[part].Add(&msg) {
+			e.flush(part)
+			e.packers[part].Add(&msg)
+		}
+		touched[part] = true
+	}
+	// Flush in partition order: map iteration order must not leak into the
+	// event schedule, or runs stop being reproducible.
+	for part := range e.packers {
+		if touched[part] {
+			e.flush(part)
+		}
+	}
+}

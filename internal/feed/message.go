@@ -1,0 +1,247 @@
+// Package feed implements a PITCH-style sequenced multicast market-data
+// protocol: binary messages packed several-per-datagram under a sequenced
+// unit header, per-exchange format variants (each exchange "chooses its own
+// binary formats", §2), gap detection, and A/B feed arbitration.
+//
+// Message sizes follow the paper's PITCH citations — 26 bytes for an add
+// order, 14 for a delete (§5) — with variant-specific widths producing the
+// distinct frame-length distributions of Table 1.
+package feed
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"tradenet/internal/market"
+)
+
+// MsgType identifies a market-data message.
+type MsgType uint8
+
+// Message types (values in the spirit of the PITCH spec).
+const (
+	MsgTime          MsgType = 0x20
+	MsgAddOrder      MsgType = 0x21
+	MsgOrderExecuted MsgType = 0x23
+	MsgReduceSize    MsgType = 0x25
+	MsgModifyOrder   MsgType = 0x27
+	MsgDeleteOrder   MsgType = 0x29
+	MsgTrade         MsgType = 0x30
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgTime:
+		return "time"
+	case MsgAddOrder:
+		return "add"
+	case MsgOrderExecuted:
+		return "executed"
+	case MsgReduceSize:
+		return "reduce"
+	case MsgModifyOrder:
+		return "modify"
+	case MsgDeleteOrder:
+		return "delete"
+	case MsgTrade:
+		return "trade"
+	}
+	return "unknown"
+}
+
+// Errors returned by the codec.
+var (
+	ErrShort      = errors.New("feed: truncated message")
+	ErrUnknown    = errors.New("feed: unknown message type")
+	ErrBadVariant = errors.New("feed: message shorter than canonical fields")
+)
+
+// Msg is the decoded form of any market-data message. Unused fields are
+// zero for types that do not carry them. One struct for all types keeps the
+// decode path allocation-free (the gopacket DecodingLayer idiom).
+type Msg struct {
+	Type     MsgType
+	TimeNs   uint32 // nanoseconds since the feed's epoch second
+	OrderID  uint64
+	Side     market.Side
+	Qty      uint32
+	Symbol   [6]byte // right-padded ASCII ticker
+	Price    uint64  // fixed-point, 1e-4 dollars
+	ExecID   uint64
+	EpochSec uint32 // MsgTime only
+}
+
+// SetSymbol stores ticker (≤6 ASCII bytes) into the fixed-width field.
+func (m *Msg) SetSymbol(ticker string) {
+	var s [6]byte
+	copy(s[:], ticker)
+	m.Symbol = s
+}
+
+// SymbolString returns the ticker without padding.
+func (m *Msg) SymbolString() string {
+	n := len(m.Symbol)
+	for n > 0 && (m.Symbol[n-1] == 0 || m.Symbol[n-1] == ' ') {
+		n--
+	}
+	return string(m.Symbol[:n])
+}
+
+// canonicalSize is the minimum encoding of each type: the fields above,
+// packed. Variants may only pad beyond this.
+func canonicalSize(t MsgType) int {
+	switch t {
+	case MsgTime:
+		return 6 // len, type, epochSec
+	case MsgAddOrder:
+		return 26 // len, type, time, oid, side, qty(2), sym, price(2), flags
+	case MsgOrderExecuted:
+		return 26 // len, type, time, oid, qty, execID
+	case MsgReduceSize:
+		return 18 // len, type, time, oid, qty
+	case MsgModifyOrder:
+		return 27 // len, type, time, oid, qty, price(8), flags — re-entry loses priority
+	case MsgDeleteOrder:
+		return 14 // len, type, time, oid
+	case MsgTrade:
+		return 41 // len, type, time, oid, side, qty, sym, price(8), execID
+	}
+	return 0
+}
+
+// Variant describes one exchange's binary format: the on-wire size of each
+// message type (≥ canonical; the excess is exchange-specific fields the
+// internal format does not carry) and the exchange's maximum datagram.
+type Variant struct {
+	Name     string
+	Sizes    map[MsgType]int
+	MaxDgram int // largest UDP payload the exchange emits
+}
+
+// size returns the variant's wire size for t.
+func (v *Variant) size(t MsgType) int {
+	if v == nil || v.Sizes == nil {
+		return canonicalSize(t)
+	}
+	if s, ok := v.Sizes[t]; ok {
+		return s
+	}
+	return canonicalSize(t)
+}
+
+// Internal is the firm's normalized format (§2): canonical sizes, full-size
+// datagrams. Normalizers re-encode every exchange's variant into this.
+var Internal = &Variant{Name: "internal", MaxDgram: 1472}
+
+// Append encodes m in variant v's format, appending to b. It panics on an
+// unknown type: message construction is program logic, not input.
+func (v *Variant) Append(b []byte, m *Msg) []byte {
+	size := v.size(m.Type)
+	start := len(b)
+	b = append(b, byte(size), byte(m.Type))
+	switch m.Type {
+	case MsgTime:
+		b = binary.BigEndian.AppendUint32(b, m.EpochSec)
+	case MsgAddOrder:
+		b = binary.BigEndian.AppendUint32(b, m.TimeNs)
+		b = binary.BigEndian.AppendUint64(b, m.OrderID)
+		b = append(b, byte(m.Side))
+		b = binary.BigEndian.AppendUint16(b, uint16(m.Qty))
+		b = append(b, m.Symbol[:]...)
+		b = binary.BigEndian.AppendUint16(b, uint16(m.Price))
+		b = append(b, 0) // flags
+	case MsgOrderExecuted:
+		b = binary.BigEndian.AppendUint32(b, m.TimeNs)
+		b = binary.BigEndian.AppendUint64(b, m.OrderID)
+		b = binary.BigEndian.AppendUint32(b, m.Qty)
+		b = binary.BigEndian.AppendUint64(b, m.ExecID)
+	case MsgReduceSize:
+		b = binary.BigEndian.AppendUint32(b, m.TimeNs)
+		b = binary.BigEndian.AppendUint64(b, m.OrderID)
+		b = binary.BigEndian.AppendUint32(b, m.Qty)
+	case MsgModifyOrder:
+		b = binary.BigEndian.AppendUint32(b, m.TimeNs)
+		b = binary.BigEndian.AppendUint64(b, m.OrderID)
+		b = binary.BigEndian.AppendUint32(b, m.Qty)
+		b = binary.BigEndian.AppendUint64(b, m.Price)
+		b = append(b, 0) // flags
+	case MsgDeleteOrder:
+		b = binary.BigEndian.AppendUint32(b, m.TimeNs)
+		b = binary.BigEndian.AppendUint64(b, m.OrderID)
+	case MsgTrade:
+		b = binary.BigEndian.AppendUint32(b, m.TimeNs)
+		b = binary.BigEndian.AppendUint64(b, m.OrderID)
+		b = append(b, byte(m.Side))
+		b = binary.BigEndian.AppendUint32(b, m.Qty)
+		b = append(b, m.Symbol[:]...)
+		b = binary.BigEndian.AppendUint64(b, m.Price)
+		b = binary.BigEndian.AppendUint64(b, m.ExecID)
+	default:
+		panic("feed: cannot encode unknown message type")
+	}
+	// Variant-specific padding (exchange fields the internal format drops).
+	for len(b)-start < size {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// Decode parses one message from the front of b into m and returns the
+// remaining bytes. Price widths narrower than 8 bytes (the PITCH "short
+// form") decode into the full-width field.
+func Decode(b []byte, m *Msg) ([]byte, error) {
+	if len(b) < 2 {
+		return nil, ErrShort
+	}
+	size := int(b[0])
+	if size < 2 || size > len(b) {
+		return nil, ErrShort
+	}
+	t := MsgType(b[1])
+	if canonicalSize(t) == 0 {
+		return nil, ErrUnknown
+	}
+	if size < canonicalSize(t) {
+		return nil, ErrBadVariant
+	}
+	*m = Msg{Type: t}
+	p := b[2:size]
+	switch t {
+	case MsgTime:
+		m.EpochSec = binary.BigEndian.Uint32(p)
+	case MsgAddOrder:
+		m.TimeNs = binary.BigEndian.Uint32(p)
+		m.OrderID = binary.BigEndian.Uint64(p[4:])
+		m.Side = market.Side(p[12])
+		m.Qty = uint32(binary.BigEndian.Uint16(p[13:]))
+		copy(m.Symbol[:], p[15:21])
+		m.Price = uint64(binary.BigEndian.Uint16(p[21:]))
+	case MsgOrderExecuted:
+		m.TimeNs = binary.BigEndian.Uint32(p)
+		m.OrderID = binary.BigEndian.Uint64(p[4:])
+		m.Qty = binary.BigEndian.Uint32(p[12:])
+		m.ExecID = binary.BigEndian.Uint64(p[16:])
+	case MsgReduceSize:
+		m.TimeNs = binary.BigEndian.Uint32(p)
+		m.OrderID = binary.BigEndian.Uint64(p[4:])
+		m.Qty = binary.BigEndian.Uint32(p[12:])
+	case MsgModifyOrder:
+		m.TimeNs = binary.BigEndian.Uint32(p)
+		m.OrderID = binary.BigEndian.Uint64(p[4:])
+		m.Qty = binary.BigEndian.Uint32(p[12:])
+		m.Price = binary.BigEndian.Uint64(p[16:])
+	case MsgDeleteOrder:
+		m.TimeNs = binary.BigEndian.Uint32(p)
+		m.OrderID = binary.BigEndian.Uint64(p[4:])
+	case MsgTrade:
+		m.TimeNs = binary.BigEndian.Uint32(p)
+		m.OrderID = binary.BigEndian.Uint64(p[4:])
+		m.Side = market.Side(p[12])
+		m.Qty = binary.BigEndian.Uint32(p[13:])
+		copy(m.Symbol[:], p[17:23])
+		m.Price = binary.BigEndian.Uint64(p[23:])
+		m.ExecID = binary.BigEndian.Uint64(p[31:])
+	}
+	return b[size:], nil
+}

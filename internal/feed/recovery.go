@@ -1,0 +1,231 @@
+package feed
+
+import "encoding/binary"
+
+// Gap recovery: production sequenced feeds pair the multicast stream with a
+// TCP retransmission service — a receiver that detects a sequence gap asks
+// the exchange to replay the missing range from a retained window. (CBOE's
+// PITCH spec calls this the gap-request proxy; the paper's §2 "highly-
+// optimized, stateful protocols" covers exactly this machinery.) A/B
+// arbitration heals single-path loss for free; recovery is the backstop
+// when both copies are gone or only one path is provisioned.
+
+// RetainBuffer is the server-side replay window: the most recent datagrams
+// of one unit, indexed by starting sequence number.
+type RetainBuffer struct {
+	unit uint8
+	cap  int
+	ring [][]byte // retained datagrams, oldest first
+	seqs []uint32 // starting seq per retained datagram
+}
+
+// NewRetainBuffer retains up to capDgrams datagrams for unit.
+func NewRetainBuffer(unit uint8, capDgrams int) *RetainBuffer {
+	if capDgrams <= 0 {
+		panic("feed: retain capacity must be positive")
+	}
+	return &RetainBuffer{unit: unit, cap: capDgrams}
+}
+
+// Retain stores a copy of the datagram for future replay.
+func (rb *RetainBuffer) Retain(dgram []byte) {
+	var h UnitHeader
+	if _, err := DecodeUnitHeader(dgram, &h); err != nil || h.Unit != rb.unit {
+		return
+	}
+	rb.ring = append(rb.ring, append([]byte(nil), dgram...))
+	rb.seqs = append(rb.seqs, h.Seq)
+	if len(rb.ring) > rb.cap {
+		rb.ring = rb.ring[1:]
+		rb.seqs = rb.seqs[1:]
+	}
+}
+
+// Retained returns how many datagrams are currently replayable.
+func (rb *RetainBuffer) Retained() int { return len(rb.ring) }
+
+// OldestSeq returns the first sequence still replayable (0 if empty).
+func (rb *RetainBuffer) OldestSeq() uint32 {
+	if len(rb.seqs) == 0 {
+		return 0
+	}
+	return rb.seqs[0]
+}
+
+// Replay invokes emit for every retained datagram overlapping [from, to).
+// It reports whether the entire range was covered — false means the window
+// has already rolled past part of it (an unrecoverable gap).
+func (rb *RetainBuffer) Replay(from, to uint32, emit func(dgram []byte)) bool {
+	covered := from >= rb.OldestSeq() && len(rb.ring) > 0
+	for i, d := range rb.ring {
+		var h UnitHeader
+		if _, err := DecodeUnitHeader(d, &h); err != nil {
+			continue
+		}
+		end := rb.seqs[i] + uint32(h.Count)
+		if end <= from || rb.seqs[i] >= to {
+			continue
+		}
+		emit(d)
+	}
+	return covered
+}
+
+// Recovery request/response wire format, carried over a reliable stream.
+const (
+	recoveryReqLen  = 10 // unit(1) + from(4) + to(4) + flags(1)
+	recoveryRespHdr = 3  // status(1) + length(2), followed by the datagram
+)
+
+// Recovery response status codes.
+const (
+	RecoveryOK      uint8 = 0
+	RecoveryTooOld  uint8 = 1 // range rolled out of the retain window
+	RecoveryBadUnit uint8 = 2
+	RecoveryDone    uint8 = 3 // terminator after the last replayed datagram
+)
+
+// AppendRecoveryRequest encodes a request for unit's sequences [from, to).
+func AppendRecoveryRequest(b []byte, unit uint8, from, to uint32) []byte {
+	b = append(b, unit)
+	b = binary.BigEndian.AppendUint32(b, from)
+	b = binary.BigEndian.AppendUint32(b, to)
+	return append(b, 0)
+}
+
+// RecoveryServer serves replay requests from one or more retain buffers
+// (one per unit) over a byte stream.
+type RecoveryServer struct {
+	buffers map[uint8]*RetainBuffer
+	pending []byte
+
+	// Served counts datagrams replayed; Refused counts unrecoverable
+	// requests.
+	Served  uint64
+	Refused uint64
+}
+
+// NewRecoveryServer serves the given retain buffers.
+func NewRecoveryServer(buffers ...*RetainBuffer) *RecoveryServer {
+	s := &RecoveryServer{buffers: make(map[uint8]*RetainBuffer)}
+	for _, rb := range buffers {
+		s.buffers[rb.unit] = rb
+	}
+	return s
+}
+
+// Receive ingests request-stream bytes; send transmits response bytes.
+func (s *RecoveryServer) Receive(data []byte, send func([]byte)) {
+	s.pending = append(s.pending, data...)
+	for len(s.pending) >= recoveryReqLen {
+		req := s.pending[:recoveryReqLen]
+		s.pending = s.pending[recoveryReqLen:]
+		unit := req[0]
+		from := binary.BigEndian.Uint32(req[1:5])
+		to := binary.BigEndian.Uint32(req[5:9])
+		s.handle(unit, from, to, send)
+	}
+}
+
+func (s *RecoveryServer) handle(unit uint8, from, to uint32, send func([]byte)) {
+	rb, ok := s.buffers[unit]
+	if !ok {
+		s.Refused++
+		send([]byte{RecoveryBadUnit, 0, 0})
+		return
+	}
+	var out []byte
+	complete := rb.Replay(from, to, func(d []byte) {
+		s.Served++
+		out = append(out, RecoveryOK)
+		out = binary.BigEndian.AppendUint16(out, uint16(len(d)))
+		out = append(out, d...)
+	})
+	if !complete {
+		s.Refused++
+		out = append(out, RecoveryTooOld, 0, 0)
+	}
+	out = append(out, RecoveryDone, 0, 0)
+	send(out)
+}
+
+// RecoveryClient pairs a Reassembler with a recovery stream: gaps trigger
+// replay requests, and replayed datagrams are fed back through the
+// reassembler (whose partial-overlap handling skips anything already
+// delivered).
+type RecoveryClient struct {
+	R       *Reassembler
+	send    func([]byte) // transmits request bytes
+	pending []byte
+
+	// Unrecoverable fires when the server could not cover a requested
+	// range — permanent data loss despite recovery.
+	Unrecoverable func(GapInfo)
+
+	Requests  uint64
+	Recovered uint64
+	lastGap   GapInfo
+}
+
+// NewRecoveryClient wraps a reassembler for unit; send transmits recovery
+// requests. The client installs itself as the reassembler's gap handler.
+func NewRecoveryClient(unit uint8, send func([]byte)) *RecoveryClient {
+	c := &RecoveryClient{R: NewReassembler(unit), send: send}
+	c.R.OnGap = func(g GapInfo) {
+		c.lastGap = g
+		c.Requests++
+		c.send(AppendRecoveryRequest(nil, g.Unit, g.Expected, g.Got))
+	}
+	return c
+}
+
+// Consume ingests a live multicast datagram.
+func (c *RecoveryClient) Consume(dgram []byte, fn func(*Msg)) error {
+	return c.R.Consume(dgram, fn)
+}
+
+// ReceiveRecovery ingests response-stream bytes, replaying recovered
+// datagrams into fn.
+//
+// Note the recovered messages arrive *late and out of band*: the live
+// stream has moved on, so the reassembler's sequence cursor is already
+// past them. Recovered data is delivered straight to fn (flagged data, in
+// a real system) rather than through the sequencer.
+func (c *RecoveryClient) ReceiveRecovery(data []byte, fn func(*Msg)) error {
+	c.pending = append(c.pending, data...)
+	for len(c.pending) >= recoveryRespHdr {
+		status := c.pending[0]
+		n := int(binary.BigEndian.Uint16(c.pending[1:3]))
+		if len(c.pending) < recoveryRespHdr+n {
+			return nil
+		}
+		body := c.pending[recoveryRespHdr : recoveryRespHdr+n]
+		c.pending = c.pending[recoveryRespHdr+n:]
+		switch status {
+		case RecoveryOK:
+			var h UnitHeader
+			rest, err := DecodeUnitHeader(body, &h)
+			if err != nil {
+				return err
+			}
+			var m Msg
+			for i := 0; i < int(h.Count); i++ {
+				rest, err = Decode(rest, &m)
+				if err != nil {
+					return err
+				}
+				c.Recovered++
+				if fn != nil {
+					fn(&m)
+				}
+			}
+		case RecoveryTooOld, RecoveryBadUnit:
+			if c.Unrecoverable != nil {
+				c.Unrecoverable(c.lastGap)
+			}
+		case RecoveryDone:
+			// Range complete.
+		}
+	}
+	return nil
+}

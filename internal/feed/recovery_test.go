@@ -1,0 +1,227 @@
+package feed
+
+import (
+	"testing"
+
+	"tradenet/internal/netsim"
+	"tradenet/internal/sim"
+	"tradenet/internal/units"
+)
+
+func mkDgrams(t *testing.T, unit uint8, counts ...int) [][]byte {
+	t.Helper()
+	p := NewPacker(Internal, unit)
+	var m Msg
+	m.Type = MsgDeleteOrder
+	var out [][]byte
+	id := uint64(0)
+	for _, n := range counts {
+		for i := 0; i < n; i++ {
+			m.OrderID = id
+			id++
+			p.Add(&m)
+		}
+		p.Flush(func(d []byte) { out = append(out, append([]byte(nil), d...)) })
+	}
+	return out
+}
+
+func TestRetainBufferWindow(t *testing.T) {
+	rb := NewRetainBuffer(1, 3)
+	dgrams := mkDgrams(t, 1, 2, 2, 2, 2) // seqs 1-2, 3-4, 5-6, 7-8
+	for _, d := range dgrams {
+		rb.Retain(d)
+	}
+	if rb.Retained() != 3 {
+		t.Fatalf("retained = %d", rb.Retained())
+	}
+	// Oldest datagram (seq 1-2) rolled out.
+	if rb.OldestSeq() != 3 {
+		t.Fatalf("oldest = %d", rb.OldestSeq())
+	}
+	// Replay of a covered range.
+	var replayed int
+	if !rb.Replay(5, 7, func([]byte) { replayed++ }) {
+		t.Fatal("covered range reported incomplete")
+	}
+	if replayed != 1 {
+		t.Fatalf("replayed %d datagrams, want 1 (seqs 5-6)", replayed)
+	}
+	// Replay spanning the rolled-out region reports incompleteness.
+	replayed = 0
+	if rb.Replay(1, 4, func([]byte) { replayed++ }) {
+		t.Fatal("rolled-out range reported complete")
+	}
+	if replayed != 1 {
+		t.Fatalf("partial replay = %d, want the surviving 3-4 datagram", replayed)
+	}
+	// Foreign units are not retained.
+	rb.Retain(mkDgrams(t, 9, 1)[0])
+	if rb.Retained() != 3 {
+		t.Fatal("foreign unit retained")
+	}
+}
+
+func TestRetainBufferValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity should panic")
+		}
+	}()
+	NewRetainBuffer(1, 0)
+}
+
+func TestRecoveryEndToEnd(t *testing.T) {
+	// Live path drops the middle datagram; the client requests replay and
+	// recovers every message.
+	dgrams := mkDgrams(t, 1, 3, 2, 4) // seqs 1-3, 4-5, 6-9
+	rb := NewRetainBuffer(1, 16)
+	for _, d := range dgrams {
+		rb.Retain(d)
+	}
+	srv := NewRecoveryServer(rb)
+
+	var toServer, toClient []byte
+	client := NewRecoveryClient(1, func(req []byte) { toServer = append(toServer, req...) })
+
+	var live, recovered []uint64
+	onLive := func(m *Msg) { live = append(live, m.OrderID) }
+	onRec := func(m *Msg) { recovered = append(recovered, m.OrderID) }
+
+	client.Consume(dgrams[0], onLive)
+	// dgrams[1] lost on the wire.
+	client.Consume(dgrams[2], onLive) // triggers the gap request
+
+	if client.Requests != 1 {
+		t.Fatalf("requests = %d", client.Requests)
+	}
+	srv.Receive(toServer, func(b []byte) { toClient = append(toClient, b...) })
+	if err := client.ReceiveRecovery(toClient, onRec); err != nil {
+		t.Fatal(err)
+	}
+	if len(live) != 7 {
+		t.Fatalf("live messages = %d", len(live))
+	}
+	if len(recovered) != 2 || recovered[0] != 3 || recovered[1] != 4 {
+		t.Fatalf("recovered = %v, want order ids 3,4", recovered)
+	}
+	if client.Recovered != 2 || srv.Served != 1 {
+		t.Fatalf("client.Recovered=%d srv.Served=%d", client.Recovered, srv.Served)
+	}
+	if srv.Refused != 0 {
+		t.Fatalf("refused = %d", srv.Refused)
+	}
+}
+
+func TestRecoveryUnrecoverableRange(t *testing.T) {
+	dgrams := mkDgrams(t, 1, 1, 1, 1, 1, 1) // seqs 1..5
+	rb := NewRetainBuffer(1, 2)             // only the last two retained
+	for _, d := range dgrams {
+		rb.Retain(d)
+	}
+	srv := NewRecoveryServer(rb)
+	var toServer, toClient []byte
+	client := NewRecoveryClient(1, func(req []byte) { toServer = append(toServer, req...) })
+	var failed []GapInfo
+	client.Unrecoverable = func(g GapInfo) { failed = append(failed, g) }
+
+	client.Consume(dgrams[0], nil)
+	// Lose 2,3 — both already rolled out of the retain window.
+	client.Consume(dgrams[3], nil)
+	srv.Receive(toServer, func(b []byte) { toClient = append(toClient, b...) })
+	client.ReceiveRecovery(toClient, nil)
+	if len(failed) != 1 || failed[0].Expected != 2 {
+		t.Fatalf("unrecoverable = %+v", failed)
+	}
+	if srv.Refused != 1 {
+		t.Fatalf("refused = %d", srv.Refused)
+	}
+}
+
+func TestRecoveryUnknownUnit(t *testing.T) {
+	srv := NewRecoveryServer(NewRetainBuffer(1, 4))
+	var out []byte
+	srv.Receive(AppendRecoveryRequest(nil, 42, 1, 2), func(b []byte) { out = append(out, b...) })
+	if srv.Refused != 1 {
+		t.Fatal("unknown unit should refuse")
+	}
+	client := NewRecoveryClient(42, func([]byte) {})
+	gotFail := false
+	client.Unrecoverable = func(GapInfo) { gotFail = true }
+	client.ReceiveRecovery(out, nil)
+	if !gotFail {
+		t.Fatal("bad-unit response should surface as unrecoverable")
+	}
+}
+
+func TestRecoveryRequestSegmentationTolerant(t *testing.T) {
+	// Requests and responses may arrive in arbitrary stream segments.
+	dgrams := mkDgrams(t, 1, 2, 2)
+	rb := NewRetainBuffer(1, 8)
+	for _, d := range dgrams {
+		rb.Retain(d)
+	}
+	srv := NewRecoveryServer(rb)
+	req := AppendRecoveryRequest(nil, 1, 1, 3)
+	var resp []byte
+	// Byte-at-a-time request delivery.
+	for _, by := range req {
+		srv.Receive([]byte{by}, func(b []byte) { resp = append(resp, b...) })
+	}
+	if srv.Served != 1 {
+		t.Fatalf("served = %d", srv.Served)
+	}
+	client := NewRecoveryClient(1, func([]byte) {})
+	n := 0
+	// Byte-at-a-time response delivery.
+	for _, by := range resp {
+		if err := client.ReceiveRecovery([]byte{by}, func(*Msg) { n++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n != 2 {
+		t.Fatalf("recovered = %d", n)
+	}
+}
+
+// Recovery over the simulated network: client and server on hosts joined by
+// a real stream, loss injected on the multicast path.
+func TestRecoveryOverSimulatedStream(t *testing.T) {
+	sched := sim.NewScheduler(17)
+	h1, h2 := netsim.NewHost(sched, "rxhost"), netsim.NewHost(sched, "exchange")
+	n1, n2 := h1.AddNIC("rec", 10), h2.AddNIC("rec", 20)
+	netsim.Connect(n1.Port, n2.Port, units.Rate10G, 500*sim.Nanosecond)
+	m1, m2 := netsim.NewStreamMux(n1), netsim.NewStreamMux(n2)
+	cs := netsim.NewStream(n1, 5000, n2.Addr(5001))
+	ss := netsim.NewStream(n2, 5001, n1.Addr(5000))
+	m1.Register(cs)
+	m2.Register(ss)
+
+	dgrams := mkDgrams(t, 1, 3, 2, 4)
+	rb := NewRetainBuffer(1, 16)
+	for _, d := range dgrams {
+		rb.Retain(d)
+	}
+	srv := NewRecoveryServer(rb)
+	ss.OnData = func(b []byte) { srv.Receive(b, func(resp []byte) { ss.Write(resp) }) }
+
+	client := NewRecoveryClient(1, func(req []byte) { cs.Write(req) })
+	var recovered int
+	cs.OnData = func(b []byte) {
+		if err := client.ReceiveRecovery(b, func(*Msg) { recovered++ }); err != nil {
+			t.Fatalf("recovery stream: %v", err)
+		}
+	}
+
+	live := 0
+	sched.At(0, func() {
+		client.Consume(dgrams[0], func(*Msg) { live++ })
+		// dgrams[1] lost; gap detected on dgrams[2], request goes over the
+		// stream.
+		client.Consume(dgrams[2], func(*Msg) { live++ })
+	})
+	sched.Run()
+	if live != 7 || recovered != 2 {
+		t.Fatalf("live=%d recovered=%d", live, recovered)
+	}
+}

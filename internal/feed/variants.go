@@ -1,0 +1,194 @@
+package feed
+
+import (
+	"math/rand"
+
+	"tradenet/internal/market"
+	"tradenet/internal/pkt"
+)
+
+// The paper's Table 1 samples frame lengths from three production feeds.
+// These variants reproduce those distributions: each exchange's message
+// widths set the minimum and median frame, its packing behaviour sets the
+// mean, and its maximum datagram sets the maximum frame.
+//
+//	Feed        min  avg  median  max
+//	Exchange A   73   92      89  1514
+//	Exchange B   64  113      76  1067
+//	Exchange C   81  151     101  1442
+var (
+	// ExchangeA uses mid-width encodings and mostly single-message frames.
+	ExchangeA = &Variant{
+		Name: "Exchange A",
+		Sizes: map[MsgType]int{
+			MsgAddOrder: 39, MsgDeleteOrder: 23, MsgOrderExecuted: 31,
+			MsgReduceSize: 27, MsgModifyOrder: 31, MsgTrade: 47,
+		},
+		MaxDgram: 1472, // 1514-byte frames at the maximum
+	}
+
+	// ExchangeB uses the canonical compact encodings (the PITCH sizes the
+	// paper cites: 26-byte adds, 14-byte deletes) but packs aggressively,
+	// so its mean is far above its median.
+	ExchangeB = &Variant{
+		Name:     "Exchange B",
+		MaxDgram: 1025, // 1067-byte frames at the maximum
+	}
+
+	// ExchangeC uses verbose encodings with exchange-specific fields.
+	ExchangeC = &Variant{
+		Name: "Exchange C",
+		Sizes: map[MsgType]int{
+			MsgAddOrder: 51, MsgDeleteOrder: 31, MsgOrderExecuted: 43,
+			MsgReduceSize: 35, MsgModifyOrder: 47, MsgTrade: 63,
+		},
+		MaxDgram: 1400, // 1442-byte frames at the maximum
+	}
+)
+
+// Mix is a market-data message-type distribution plus packing behaviour,
+// modelling one exchange's mid-day traffic.
+type Mix struct {
+	// Weights holds relative frequencies per message type.
+	Weights map[MsgType]float64
+	// ExtraMean is the mean number of additional messages packed into a
+	// frame beyond the first (geometric).
+	ExtraMean float64
+	// BurstProb is the probability a frame is a burst frame, packed to the
+	// variant's maximum datagram.
+	BurstProb float64
+}
+
+// MidDayMix returns the calibrated mid-day mix for each Table 1 variant.
+func MidDayMix(v *Variant) Mix {
+	switch v {
+	case ExchangeA:
+		return Mix{
+			Weights: map[MsgType]float64{
+				MsgAddOrder: .55, MsgDeleteOrder: .20, MsgOrderExecuted: .08,
+				MsgReduceSize: .02, MsgModifyOrder: .10, MsgTrade: .05,
+			},
+			ExtraMean: 0.10,
+			BurstProb: 0.002,
+		}
+	case ExchangeB:
+		return Mix{
+			Weights: map[MsgType]float64{
+				MsgAddOrder: .50, MsgDeleteOrder: .25, MsgOrderExecuted: .10,
+				MsgReduceSize: .05, MsgModifyOrder: .05, MsgTrade: .05,
+			},
+			ExtraMean: 0.70,
+			BurstProb: 0.025,
+		}
+	case ExchangeC:
+		return Mix{
+			Weights: map[MsgType]float64{
+				MsgAddOrder: .50, MsgDeleteOrder: .25, MsgOrderExecuted: .10,
+				MsgReduceSize: .05, MsgModifyOrder: .05, MsgTrade: .05,
+			},
+			ExtraMean: 0.55,
+			BurstProb: 0.024,
+		}
+	default:
+		return Mix{
+			Weights:   map[MsgType]float64{MsgAddOrder: .6, MsgDeleteOrder: .4},
+			ExtraMean: 0.2,
+		}
+	}
+}
+
+var mixOrder = []MsgType{
+	MsgAddOrder, MsgDeleteOrder, MsgOrderExecuted,
+	MsgReduceSize, MsgModifyOrder, MsgTrade,
+}
+
+// drawType samples a message type from the mix.
+func (m Mix) drawType(rng *rand.Rand) MsgType {
+	var total float64
+	for _, t := range mixOrder {
+		total += m.Weights[t]
+	}
+	x := rng.Float64() * total
+	for _, t := range mixOrder {
+		x -= m.Weights[t]
+		if x < 0 {
+			return t
+		}
+	}
+	return MsgAddOrder
+}
+
+// randomMsg fills m with a plausible message of type t.
+func randomMsg(rng *rand.Rand, t MsgType, m *Msg) {
+	*m = Msg{
+		Type:    t,
+		TimeNs:  rng.Uint32() % 1_000_000_000,
+		OrderID: rng.Uint64(),
+	}
+	switch t {
+	case MsgAddOrder, MsgTrade:
+		m.Side = market.Side(rng.Intn(2))
+		m.Qty = uint32(1 + rng.Intn(500))
+		m.SetSymbol("SYM")
+		m.Price = uint64(10_000 + rng.Intn(1_000_000))
+		m.ExecID = rng.Uint64()
+	case MsgOrderExecuted, MsgReduceSize, MsgModifyOrder:
+		m.Qty = uint32(1 + rng.Intn(500))
+		m.Price = uint64(10_000 + rng.Intn(1_000_000))
+		m.ExecID = rng.Uint64()
+	}
+}
+
+// FrameGen produces a stream of UDP market-data frames for one variant,
+// for the Table 1 experiment and for driving feed traffic through the
+// network models.
+type FrameGen struct {
+	variant *Variant
+	mix     Mix
+	packer  *Packer
+	src     pkt.UDPAddr
+	dst     pkt.UDPAddr
+	ipID    uint16
+	frame   []byte
+	msg     Msg
+}
+
+// NewFrameGen returns a generator emitting frames from src to dst in v's
+// format.
+func NewFrameGen(v *Variant, src, dst pkt.UDPAddr) *FrameGen {
+	return &FrameGen{
+		variant: v,
+		mix:     MidDayMix(v),
+		packer:  NewPacker(v, 1),
+		src:     src,
+		dst:     dst,
+	}
+}
+
+// Next generates the next frame. The returned slice is reused across calls;
+// the caller must copy it if it outlives the next call. The message count
+// packed into the frame is also returned.
+func (g *FrameGen) Next(rng *rand.Rand) (frame []byte, msgs int) {
+	n := 1
+	if rng.Float64() < g.mix.BurstProb {
+		n = 1 << 30 // pack until the datagram is full
+	} else if g.mix.ExtraMean > 0 {
+		// Geometric number of extra messages with the configured mean.
+		p := 1 / (1 + g.mix.ExtraMean)
+		for rng.Float64() > p {
+			n++
+		}
+	}
+	for i := 0; i < n; i++ {
+		randomMsg(rng, g.mix.drawType(rng), &g.msg)
+		if !g.packer.Add(&g.msg) {
+			break // datagram full
+		}
+	}
+	msgs = g.packer.Pending()
+	g.packer.Flush(func(dgram []byte) {
+		g.ipID++
+		g.frame = pkt.AppendUDPFrame(g.frame[:0], g.src, g.dst, g.ipID, dgram)
+	})
+	return g.frame, msgs
+}

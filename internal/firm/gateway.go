@@ -1,0 +1,169 @@
+package firm
+
+import (
+	"tradenet/internal/market"
+	"tradenet/internal/netsim"
+	"tradenet/internal/orderentry"
+	"tradenet/internal/pkt"
+	"tradenet/internal/sim"
+)
+
+// GatewayBasePort is the first TCP port gateways accept internal sessions
+// on.
+const GatewayBasePort = 18000
+
+// GatewayConfig parameterizes an order gateway.
+type GatewayConfig struct {
+	// TranslateLatency is the software cost of converting one internal
+	// request into the exchange protocol (and one response back).
+	TranslateLatency sim.Duration
+}
+
+// Gateway terminates internal order-entry sessions from strategies and
+// relays their flow onto an exchange session, translating identifiers and
+// re-sequencing — §2's "translate from internal order entry formats back to
+// the protocols that the exchanges use".
+type Gateway struct {
+	cfg   GatewayConfig
+	sched *sim.Scheduler
+	host  *netsim.Host
+	inNIC *netsim.NIC
+	exNIC *netsim.NIC
+	inMux *netsim.StreamMux
+
+	exSession *orderentry.ClientSession
+	exStream  *netsim.Stream
+
+	// id translation: exchange-facing id ↔ (internal session, internal id).
+	nextExID uint64
+	byExID   map[uint64]clientRef
+	toExID   map[clientRef]uint64
+	// exchIDs maps the gateway's exchange-facing order id to the venue's
+	// own order id (from the ack), relayed to internal clients.
+	exchIDs map[uint64]uint64
+
+	nextPort uint16
+
+	// Stats.
+	Relayed   uint64
+	Responses uint64
+}
+
+type clientRef struct {
+	sess *orderentry.ExchangeSession
+	id   uint64
+}
+
+// NewGateway builds a gateway host. Its exchange side is connected later
+// with ConnectExchange; strategies attach via AcceptStrategy.
+func NewGateway(sched *sim.Scheduler, name string, hostID uint32, cfg GatewayConfig) *Gateway {
+	g := &Gateway{
+		cfg:      cfg,
+		sched:    sched,
+		byExID:   make(map[uint64]clientRef),
+		toExID:   make(map[clientRef]uint64),
+		exchIDs:  make(map[uint64]uint64),
+		nextPort: GatewayBasePort,
+	}
+	g.host = netsim.NewHost(sched, name)
+	g.inNIC = g.host.AddNIC("internal", hostID)
+	g.exNIC = g.host.AddNIC("exchange", hostID+1)
+	g.inMux = netsim.NewStreamMux(g.inNIC)
+	return g
+}
+
+// InNIC returns the strategy-facing NIC.
+func (g *Gateway) InNIC() *netsim.NIC { return g.inNIC }
+
+// ExNIC returns the exchange-facing NIC.
+func (g *Gateway) ExNIC() *netsim.NIC { return g.exNIC }
+
+// ConnectExchange opens the gateway's session to an exchange order port.
+func (g *Gateway) ConnectExchange(localPort uint16, exchangeAddr pkt.UDPAddr) {
+	mux := netsim.NewStreamMux(g.exNIC)
+	g.exStream = netsim.NewStream(g.exNIC, localPort, exchangeAddr)
+	mux.Register(g.exStream)
+	g.exSession = orderentry.NewClientSession(func(b []byte) { g.exStream.Write(b) })
+	g.exStream.OnData = func(b []byte) { g.exSession.Receive(b) }
+
+	g.exSession.OnExchangeID = func(exID, exchOrderID uint64) {
+		g.exchIDs[exID] = exchOrderID
+	}
+	g.exSession.OnAck = func(exID uint64) {
+		g.respond(exID, func(ref clientRef) { ref.sess.Ack(ref.id, g.exchIDs[exID]) })
+	}
+	g.exSession.OnFill = func(exID uint64, qty market.Qty, price market.Price, done bool) {
+		g.respond(exID, func(ref clientRef) { ref.sess.Fill(ref.id, qty, price) })
+	}
+	g.exSession.OnReject = func(exID uint64, r orderentry.RejectReason) {
+		g.respond(exID, func(ref clientRef) { ref.sess.Reject(ref.id, r) })
+	}
+	g.exSession.OnCancelAck = func(exID uint64) {
+		g.respond(exID, func(ref clientRef) { ref.sess.CancelAck(ref.id) })
+	}
+	g.exSession.OnCancelReject = func(exID uint64) {
+		g.respond(exID, func(ref clientRef) { ref.sess.CancelReject(ref.id) })
+	}
+	g.exSession.Logon()
+}
+
+// ExchangeSession returns the exchange-facing session (nil before connect).
+func (g *Gateway) ExchangeSession() *orderentry.ClientSession { return g.exSession }
+
+func (g *Gateway) respond(exID uint64, fn func(clientRef)) {
+	ref, ok := g.byExID[exID]
+	if !ok {
+		return
+	}
+	g.Responses++
+	g.sched.After(g.cfg.TranslateLatency, func() { fn(ref) })
+}
+
+// AcceptStrategy provisions an internal session endpoint for a strategy at
+// clientAddr and returns the TCP port the strategy should dial.
+func (g *Gateway) AcceptStrategy(clientAddr pkt.UDPAddr) uint16 {
+	port := g.nextPort
+	g.nextPort++
+	stream := netsim.NewStream(g.inNIC, port, clientAddr)
+	sess := orderentry.NewExchangeSession(func(b []byte) { stream.Write(b) })
+	stream.OnData = func(b []byte) { sess.Receive(b) }
+	g.inMux.Register(stream)
+
+	sess.OnNew = func(m *orderentry.Msg) {
+		req := *m
+		g.sched.After(g.cfg.TranslateLatency, func() {
+			g.nextExID++
+			exID := g.nextExID
+			ref := clientRef{sess: sess, id: req.OrderID}
+			g.byExID[exID] = ref
+			g.toExID[ref] = exID
+			g.Relayed++
+			g.exSession.NewOrder(exID, req.Symbol, req.Side, req.Price, req.Qty)
+		})
+	}
+	sess.OnCancel = func(m *orderentry.Msg) {
+		req := *m
+		g.sched.After(g.cfg.TranslateLatency, func() {
+			ref := clientRef{sess: sess, id: req.OrderID}
+			if exID, ok := g.toExID[ref]; ok {
+				g.Relayed++
+				g.exSession.Cancel(exID)
+			} else {
+				sess.CancelReject(req.OrderID)
+			}
+		})
+	}
+	sess.OnModify = func(m *orderentry.Msg) {
+		req := *m
+		g.sched.After(g.cfg.TranslateLatency, func() {
+			ref := clientRef{sess: sess, id: req.OrderID}
+			if exID, ok := g.toExID[ref]; ok {
+				g.Relayed++
+				g.exSession.Modify(exID, req.Price, req.Qty)
+			} else {
+				sess.CancelReject(req.OrderID)
+			}
+		})
+	}
+	return port
+}

@@ -1,0 +1,142 @@
+package firm
+
+import (
+	"testing"
+
+	"tradenet/internal/exchange"
+	"tradenet/internal/feed"
+	"tradenet/internal/market"
+	"tradenet/internal/mcast"
+	"tradenet/internal/netsim"
+	"tradenet/internal/pkt"
+	"tradenet/internal/sim"
+	"tradenet/internal/units"
+)
+
+// middleboxRig: exchange → middlebox → subscriber, over direct links.
+type middleboxRig struct {
+	sched *sim.Scheduler
+	u     *market.Universe
+	ex    *exchange.Exchange
+	mb    *Middlebox
+	rxed  []feed.Msg
+}
+
+func buildMiddleboxRig(t *testing.T, keep func(*feed.Msg) bool) *middleboxRig {
+	t.Helper()
+	r := &middleboxRig{sched: sim.NewScheduler(41), u: testUniverse()}
+	rawMap := mcast.NewMap(mcast.NewPartitioner(r.u, mcast.ByAlpha, 0), mcast.NewAllocator(1))
+	r.ex = exchange.New(r.sched, r.u, rawMap, exchange.Config{
+		ID: 1, Name: "EXCH", Variant: feed.ExchangeB, HostID: 100,
+	})
+	outGroup := pkt.MulticastGroup(3, 1)
+	r.mb = NewMiddlebox(r.sched, "mbox", 200, rawMap.Groups(), outGroup, keep, 500*sim.Nanosecond)
+	netsim.Connect(r.ex.MDNIC().Port, r.mb.InNIC().Port, units.Rate10G, 0)
+
+	sub := netsim.NewHost(r.sched, "sub")
+	subNIC := sub.AddNIC("md", 300)
+	subNIC.Join(outGroup)
+	reasm := feed.NewReassembler(0)
+	subNIC.OnFrame = func(_ *netsim.NIC, f *netsim.Frame) {
+		var uf pkt.UDPFrame
+		if err := pkt.ParseUDPFrame(f.Data, &uf); err != nil {
+			t.Fatalf("sub parse: %v", err)
+		}
+		reasm.Consume(uf.Payload, func(m *feed.Msg) { r.rxed = append(r.rxed, *m) })
+	}
+	netsim.Connect(r.mb.OutNIC().Port, subNIC.Port, units.Rate10G, 0)
+	return r
+}
+
+func TestMiddleboxFiltersAndRepublishes(t *testing.T) {
+	keep := func(m *feed.Msg) bool { return m.Type == feed.MsgAddOrder }
+	r := buildMiddleboxRig(t, keep)
+	r.sched.At(0, func() { r.ex.PublishBurst(r.sched.Rand(), 300) })
+	r.sched.Run()
+
+	if r.mb.Examined != 300 {
+		t.Fatalf("examined = %d", r.mb.Examined)
+	}
+	if r.mb.Passed+r.mb.Discarded != r.mb.Examined {
+		t.Fatal("conservation broken")
+	}
+	if r.mb.Discarded == 0 {
+		t.Fatal("nothing discarded: filter never exercised")
+	}
+	if uint64(len(r.rxed)) != r.mb.Passed {
+		t.Fatalf("subscriber got %d, middlebox passed %d", len(r.rxed), r.mb.Passed)
+	}
+	for _, m := range r.rxed {
+		if m.Type != feed.MsgAddOrder {
+			t.Fatalf("unfiltered message leaked: %v", m.Type)
+		}
+	}
+	// CPU accounting: every examined message cost 500ns.
+	if want := sim.Duration(r.mb.Examined) * 500 * sim.Nanosecond; r.mb.CPUTime != want {
+		t.Fatalf("cpu = %v, want %v", r.mb.CPUTime, want)
+	}
+}
+
+func TestMiddleboxPassAllKeepsEverything(t *testing.T) {
+	r := buildMiddleboxRig(t, nil) // nil Keep = pass everything
+	r.sched.At(0, func() { r.ex.PublishBurst(r.sched.Rand(), 100) })
+	r.sched.Run()
+	if r.mb.Discarded != 0 || len(r.rxed) != 100 {
+		t.Fatalf("discarded=%d rxed=%d", r.mb.Discarded, len(r.rxed))
+	}
+}
+
+func TestFilterPlacementArithmetic(t *testing.T) {
+	// §3: "if the combined time spent discarding data and the time spent
+	// processing data is larger than the arrival rate, then filtering
+	// should happen outside the trading system"; middleboxes amortize
+	// discard work across consumers.
+	fp := FilterPlacement{
+		Rate:        1_000_000, // 1M msgs/s raw
+		Want:        0.1,
+		Consumers:   10,
+		DiscardCost: 50 * sim.Nanosecond,
+		ProcessCost: 500 * sim.Nanosecond,
+	}
+	inproc := fp.InProcessCoresUsed()
+	mbox := fp.MiddleboxCoresUsed()
+	// In-process: 10 × (0.9×50ns + 0.1×500ns) × 1M = 10 × 95ms/s = 0.95.
+	if inproc < 0.90 || inproc > 1.0 {
+		t.Fatalf("in-process cores = %v", inproc)
+	}
+	// Middlebox: 1×50ms/s + 10×0.1×500ns×1M = 0.05 + 0.5 = 0.55.
+	if mbox < 0.50 || mbox > 0.60 {
+		t.Fatalf("middlebox cores = %v", mbox)
+	}
+	if !fp.MiddleboxWins() {
+		t.Fatal("middlebox should win with 10 consumers")
+	}
+	// With one consumer the middlebox is pure overhead... actually equal:
+	// both spend discard once; middlebox still wins nothing.
+	fp.Consumers = 1
+	if fp.MiddleboxCoresUsed() < fp.InProcessCoresUsed()-1e-12 {
+		t.Fatal("single consumer: middlebox cannot beat in-process")
+	}
+	// With everything wanted, filtering placement is irrelevant; middlebox
+	// adds its inspection cost on top.
+	fp2 := fp
+	fp2.Want = 1.0
+	fp2.Consumers = 10
+	if fp2.MiddleboxWins() {
+		t.Fatal("nothing to discard: middlebox should not win")
+	}
+}
+
+func TestMiddleboxCPUAccumulatesUnderBurst(t *testing.T) {
+	keep := func(*feed.Msg) bool { return true }
+	r := buildMiddleboxRig(t, keep)
+	r.sched.After(sim.Millisecond, func() { r.ex.PublishBurst(r.sched.Rand(), 200) })
+	r.sched.Run()
+	// 200 messages × 500ns = 100µs of single-core work.
+	if r.mb.CPUTime != 200*500*sim.Nanosecond {
+		t.Fatalf("cpu = %v", r.mb.CPUTime)
+	}
+	if len(r.rxed) != 200 {
+		t.Fatalf("rxed = %d", len(r.rxed))
+	}
+}

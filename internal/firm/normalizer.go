@@ -1,0 +1,199 @@
+// Package firm implements the trading firm's application tier (§2): market
+// data normalizers that convert each exchange's format to an internal
+// standard and repartition it, strategies that consume normalized feeds and
+// decide orders, and order gateways that translate the internal order flow
+// back into each exchange's protocol.
+package firm
+
+import (
+	"tradenet/internal/feed"
+	"tradenet/internal/market"
+	"tradenet/internal/mcast"
+	"tradenet/internal/netsim"
+	"tradenet/internal/pkt"
+	"tradenet/internal/sim"
+)
+
+// NormalizedPort is the UDP port normalized market data is published on.
+const NormalizedPort = 31001
+
+// NormalizerConfig parameterizes a normalizer.
+type NormalizerConfig struct {
+	// ProcLatency is the software cost of decoding, normalizing, and
+	// re-encoding one datagram (the <2 µs per-function budget of §4).
+	ProcLatency sim.Duration
+	// Filter, if set, drops messages for which it returns false before
+	// re-encoding — the in-normalizer filtering placement of §3's
+	// "Implications for trading systems".
+	Filter func(m *feed.Msg) bool
+	// FlushThreshold flushes an output partition once this many messages
+	// are packed (1 = message-per-datagram; larger values trade latency for
+	// header amortization).
+	FlushThreshold int
+	// PartitionOwned, if set, restricts which internal partitions this
+	// normalizer emits — how a fleet of normalizers divides the feed
+	// without duplicating work ("normalizing the market data also avoids
+	// having to perform certain common processing steps redundantly", §1).
+	// Unowned messages are counted in Skipped.
+	PartitionOwned func(part int) bool
+}
+
+// Normalizer converts one exchange's raw feed into the internal format and
+// repartitions it onto internal multicast groups.
+type Normalizer struct {
+	cfg    NormalizerConfig
+	sched  *sim.Scheduler
+	u      *market.Universe
+	host   *netsim.Host
+	rawNIC *netsim.NIC
+	pubNIC *netsim.NIC
+
+	inVariant *feed.Variant
+	reasm     map[uint8]*feed.Reassembler
+	outMap    *mcast.Map
+	packers   []*feed.Packer
+	// orderSym tracks order-id → symbol so deletes and executions (which
+	// carry no symbol on the wire) can be repartitioned correctly.
+	orderSym map[uint64]market.SymbolID
+
+	ipID    uint16
+	scratch []byte
+
+	// Stats.
+	MsgsIn, MsgsOut   uint64
+	Filtered          uint64
+	Skipped           uint64 // messages for partitions this replica does not own
+	GapsSeen, MsgLost uint64
+}
+
+// NewNormalizer builds a normalizer on host id hostID. rawMap describes the
+// exchange's partitioning (whose groups the raw NIC joins); outMap is the
+// internal partitioning it publishes into.
+func NewNormalizer(sched *sim.Scheduler, u *market.Universe, name string, hostID uint32,
+	inVariant *feed.Variant, rawMap, outMap *mcast.Map, cfg NormalizerConfig) *Normalizer {
+	if cfg.FlushThreshold <= 0 {
+		cfg.FlushThreshold = 1
+	}
+	n := &Normalizer{
+		cfg:       cfg,
+		sched:     sched,
+		u:         u,
+		inVariant: inVariant,
+		reasm:     make(map[uint8]*feed.Reassembler),
+		outMap:    outMap,
+		orderSym:  make(map[uint64]market.SymbolID),
+	}
+	n.host = netsim.NewHost(sched, name)
+	n.rawNIC = n.host.AddNIC("raw", hostID)
+	n.pubNIC = n.host.AddNIC("pub", hostID+1)
+	for i, g := range rawMap.Groups() {
+		n.rawNIC.Join(g)
+		r := feed.NewReassembler(uint8(i))
+		r.OnGap = func(gi feed.GapInfo) {
+			n.GapsSeen++
+			n.MsgLost += uint64(gi.MsgsLost)
+		}
+		n.reasm[uint8(i)] = r
+	}
+	for i := 0; i < outMap.Partitioner().Partitions(); i++ {
+		n.packers = append(n.packers, feed.NewPacker(feed.Internal, uint8(i)))
+	}
+	n.rawNIC.OnFrame = n.onFrame
+	return n
+}
+
+// RawNIC returns the NIC subscribed to the exchange feed.
+func (n *Normalizer) RawNIC() *netsim.NIC { return n.rawNIC }
+
+// PubNIC returns the NIC publishing the normalized feed.
+func (n *Normalizer) PubNIC() *netsim.NIC { return n.pubNIC }
+
+// OutMap returns the internal partition map.
+func (n *Normalizer) OutMap() *mcast.Map { return n.outMap }
+
+func (n *Normalizer) onFrame(_ *netsim.NIC, f *netsim.Frame) {
+	// Charge the software processing cost, then normalize.
+	n.sched.After(n.cfg.ProcLatency, func() { n.process(f) })
+}
+
+func (n *Normalizer) process(f *netsim.Frame) {
+	var uf pkt.UDPFrame
+	if err := pkt.ParseUDPFrame(f.Data, &uf); err != nil {
+		return
+	}
+	var h feed.UnitHeader
+	if _, err := feed.DecodeUnitHeader(uf.Payload, &h); err != nil {
+		return
+	}
+	r, ok := n.reasm[h.Unit]
+	if !ok {
+		return
+	}
+	touched := map[int]bool{}
+	r.Consume(uf.Payload, func(m *feed.Msg) {
+		n.MsgsIn++
+		if n.cfg.Filter != nil && !n.cfg.Filter(m) {
+			n.Filtered++
+			return
+		}
+		sym := n.resolveSymbol(m)
+		part := n.outMap.Partitioner().Partition(sym)
+		if n.cfg.PartitionOwned != nil && !n.cfg.PartitionOwned(part) {
+			n.Skipped++
+			return
+		}
+		p := n.packers[part]
+		if !p.Add(m) {
+			n.flush(part, f.Origin)
+			p.Add(m)
+		}
+		n.MsgsOut++
+		touched[part] = true
+		if p.Pending() >= n.cfg.FlushThreshold {
+			n.flush(part, f.Origin)
+			delete(touched, part)
+		}
+	})
+	// Flush in partition order for reproducibility (map iteration order
+	// must not reach the event schedule).
+	for part := range n.packers {
+		if touched[part] {
+			n.flush(part, f.Origin)
+		}
+	}
+}
+
+// resolveSymbol maps a message to its instrument, learning order-id
+// associations from adds.
+func (n *Normalizer) resolveSymbol(m *feed.Msg) market.SymbolID {
+	switch m.Type {
+	case feed.MsgAddOrder, feed.MsgTrade:
+		if id, ok := n.u.Lookup(m.SymbolString()); ok {
+			n.orderSym[m.OrderID] = id
+			return id
+		}
+		return 1
+	default:
+		if id, ok := n.orderSym[m.OrderID]; ok {
+			if m.Type == feed.MsgDeleteOrder {
+				delete(n.orderSym, m.OrderID)
+			}
+			return id
+		}
+		return 1
+	}
+}
+
+func (n *Normalizer) flush(part int, origin sim.Time) {
+	group := n.outMap.GroupByIndex(part)
+	dst := pkt.UDPAddr{MAC: pkt.MulticastMAC(group), IP: group, Port: NormalizedPort}
+	src := n.pubNIC.Addr(NormalizedPort)
+	n.packers[part].Flush(func(dgram []byte) {
+		n.ipID++
+		n.scratch = pkt.AppendUDPFrame(n.scratch[:0], src, dst, n.ipID, dgram)
+		// Preserve the original ingress timestamp so end-to-end latency
+		// (exchange → strategy) is measurable across the normalizer.
+		fr := &netsim.Frame{Data: append([]byte(nil), n.scratch...), Origin: origin}
+		n.pubNIC.Send(fr)
+	})
+}

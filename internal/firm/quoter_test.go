@@ -1,0 +1,180 @@
+package firm
+
+import (
+	"testing"
+
+	"tradenet/internal/device"
+	"tradenet/internal/exchange"
+	"tradenet/internal/feed"
+	"tradenet/internal/market"
+	"tradenet/internal/mcast"
+	"tradenet/internal/netsim"
+	"tradenet/internal/orderentry"
+	"tradenet/internal/sim"
+	"tradenet/internal/units"
+)
+
+// quoterPlant: exchange → normalizer → quoter, with the order path through
+// a small ToR switch so a driver client can share the gateway:
+//
+//	quoter ─┐
+//	driver ─┼─ swOE ─ gateway ─ exchange
+type quoterPlant struct {
+	sched  *sim.Scheduler
+	u      *market.Universe
+	ex     *exchange.Exchange
+	norm   *Normalizer
+	q      *Quoter
+	gw     *Gateway
+	driver *orderentry.ClientSession
+}
+
+func buildQuoterPlant(t *testing.T) *quoterPlant {
+	t.Helper()
+	p := &quoterPlant{sched: sim.NewScheduler(61), u: testUniverse()}
+	rawMap := mcast.NewMap(mcast.NewPartitioner(p.u, mcast.ByAlpha, 0), mcast.NewAllocator(1))
+	outMap := mcast.NewMap(mcast.NewPartitioner(p.u, mcast.ByHash, 8), mcast.NewAllocator(2))
+	p.ex = exchange.New(p.sched, p.u, rawMap, exchange.Config{
+		ID: 1, Name: "EXCH", Variant: feed.ExchangeB, MatchLatency: sim.Microsecond, HostID: 100,
+	})
+	p.norm = NewNormalizer(p.sched, p.u, "norm", 200, feed.ExchangeB, rawMap, outMap,
+		NormalizerConfig{ProcLatency: sim.Microsecond})
+	aapl, _ := p.u.Lookup("AAPL")
+	p.q = NewQuoter(p.sched, p.u, "quoter", 300, outMap, QuoterConfig{
+		Symbol: aapl, HalfSpread: 50, Size: 100, DecisionLatency: sim.Microsecond,
+	})
+	p.gw = NewGateway(p.sched, "gw", 400, GatewayConfig{TranslateLatency: sim.Microsecond})
+
+	link := func(a, b *netsim.NIC) { netsim.Connect(a.Port, b.Port, units.Rate10G, 200*sim.Nanosecond) }
+	link(p.ex.MDNIC(), p.norm.RawNIC())
+	link(p.norm.PubNIC(), p.q.MDNIC())
+	link(p.gw.ExNIC(), p.ex.OENIC())
+
+	// Order-side ToR: quoter (port 0), driver (port 1), gateway (port 2).
+	sw := device.NewCommoditySwitch(p.sched, "swOE", 3, device.DefaultCommodityConfig())
+	drvHost := netsim.NewHost(p.sched, "driver")
+	drvNIC := drvHost.AddNIC("oe", 500)
+	netsim.Connect(sw.Port(0), p.q.OENIC().Port, units.Rate10G, 200*sim.Nanosecond)
+	netsim.Connect(sw.Port(1), drvNIC.Port, units.Rate10G, 200*sim.Nanosecond)
+	netsim.Connect(sw.Port(2), p.gw.InNIC().Port, units.Rate10G, 200*sim.Nanosecond)
+	sw.Learn(p.q.OENIC().MAC, 0)
+	sw.Learn(drvNIC.MAC, 1)
+	sw.Learn(p.gw.InNIC().MAC, 2)
+
+	_, exPort := p.ex.AcceptSession(p.gw.ExNIC().Addr(41000))
+	p.gw.ConnectExchange(41000, p.ex.OENIC().Addr(exPort))
+	gwPort := p.gw.AcceptStrategy(p.q.OENIC().Addr(42000))
+	p.q.ConnectGateway(42000, p.gw.InNIC().Addr(gwPort))
+
+	// Driver session through the same gateway.
+	drvGwPort := p.gw.AcceptStrategy(drvNIC.Addr(43000))
+	mux := netsim.NewStreamMux(drvNIC)
+	ds := netsim.NewStream(drvNIC, 43000, p.gw.InNIC().Addr(drvGwPort))
+	mux.Register(ds)
+	p.driver = orderentry.NewClientSession(func(b []byte) { ds.Write(b) })
+	ds.OnData = func(b []byte) { p.driver.Receive(b) }
+	p.driver.Logon()
+	return p
+}
+
+func TestQuoterEstablishesAndReprices(t *testing.T) {
+	p := buildQuoterPlant(t)
+	aapl, _ := p.u.Lookup("AAPL")
+
+	p.sched.After(sim.Millisecond, func() {
+		p.driver.NewOrder(1, aapl, market.Buy, 10000, 500)
+		p.driver.NewOrder(2, aapl, market.Sell, 10100, 500)
+	})
+	// Improve the bid later: mid moves 10050 → 10070.
+	p.sched.After(10*sim.Millisecond, func() {
+		p.driver.NewOrder(3, aapl, market.Buy, 10040, 500)
+	})
+	p.sched.Run()
+
+	if p.q.MsgsIn == 0 {
+		t.Fatal("quoter saw no market data")
+	}
+	if p.q.Reprices < 2 {
+		t.Fatalf("reprices = %d, want ≥2 (initial quote + move)", p.q.Reprices)
+	}
+	// After the move the mid is (10040+10100)/2 = 10070 → quotes 10020/10120.
+	bid, ok := p.q.Session().Order(p.q.bidID)
+	if !ok {
+		t.Fatal("bid not resting")
+	}
+	if bid.Price != 10020 {
+		t.Fatalf("bid price = %d, want 10020", bid.Price)
+	}
+	ask, ok := p.q.Session().Order(p.q.askID)
+	if !ok {
+		t.Fatal("ask not resting")
+	}
+	if ask.Price != 10120 {
+		t.Fatalf("ask price = %d, want 10120", ask.Price)
+	}
+	// The exchange book holds driver orders + the quoter's two.
+	if n := p.ex.Book(aapl).Orders(); n < 5 {
+		t.Fatalf("exchange book orders = %d", n)
+	}
+	// The quoter's quotes never crossed the market: no fills expected here.
+	if p.q.Fills != 0 {
+		t.Fatalf("unexpected fills: %d", p.q.Fills)
+	}
+}
+
+func TestQuoterStaleQuoteGetsHit(t *testing.T) {
+	// §2's race: the market moves and an aggressor hits the quoter's stale
+	// ask before the reprice lands at the exchange.
+	p := buildQuoterPlant(t)
+	aapl, _ := p.u.Lookup("AAPL")
+
+	p.sched.After(sim.Millisecond, func() {
+		p.driver.NewOrder(1, aapl, market.Buy, 10000, 500)
+		p.driver.NewOrder(2, aapl, market.Sell, 10100, 500)
+	})
+	// The quoter quotes mid±50 = 10000/10100 — joining the driver's own
+	// quotes, behind them in time priority. The aggressor buys through the
+	// whole 10100 level (driver's 500 + quoter's 100), so the quoter's
+	// resting ask is hit.
+	p.sched.After(10*sim.Millisecond, func() {
+		p.driver.NewOrder(4, aapl, market.Buy, 10100, 550)
+	})
+	p.sched.Run()
+	if p.q.Fills == 0 {
+		t.Fatal("aggressor should have hit the quoter's ask")
+	}
+}
+
+func TestQuoterValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid quoter config should panic")
+		}
+	}()
+	NewQuoter(sim.NewScheduler(1), testUniverse(), "bad", 1, nil, QuoterConfig{})
+}
+
+func TestQuoterStaleHitAccounting(t *testing.T) {
+	// The StaleHits counter: a fill at a price the quoter has already moved
+	// away from counts as stale.
+	p := buildQuoterPlant(t)
+	aapl, _ := p.u.Lookup("AAPL")
+	p.sched.After(sim.Millisecond, func() {
+		p.driver.NewOrder(1, aapl, market.Buy, 10000, 500)
+		p.driver.NewOrder(2, aapl, market.Sell, 10100, 500)
+	})
+	p.sched.After(10*sim.Millisecond, func() {
+		p.driver.NewOrder(4, aapl, market.Buy, 10100, 550)
+	})
+	p.sched.Run()
+	if p.q.Fills == 0 {
+		t.Fatal("no fills")
+	}
+	// The aggressor swept the level while the quoter's view still priced
+	// its ask there (mid unchanged until the fill publishes), so the fill
+	// is at the *current* quote — not stale by the quoter's own accounting.
+	// StaleHits therefore stays ≤ Fills; the invariant under test.
+	if p.q.StaleHits > p.q.Fills {
+		t.Fatalf("stale %d > fills %d", p.q.StaleHits, p.q.Fills)
+	}
+}

@@ -1,0 +1,239 @@
+package firm
+
+import (
+	"tradenet/internal/capture"
+	"tradenet/internal/feed"
+	"tradenet/internal/market"
+	"tradenet/internal/mcast"
+	"tradenet/internal/netsim"
+	"tradenet/internal/orderentry"
+	"tradenet/internal/pkt"
+	"tradenet/internal/sim"
+)
+
+// StrategyConfig parameterizes a strategy server.
+type StrategyConfig struct {
+	// DecisionLatency is the software cost from normalized message arrival
+	// to order transmission when the strategy decides to act.
+	DecisionLatency sim.Duration
+	// Subscriptions selects which internal partitions this strategy
+	// consumes ("some strategies only analyze a subset of the feed", §1).
+	// Empty means all partitions.
+	Subscriptions []int
+	// Trigger decides whether a message prompts an order. If nil, the
+	// strategy fires on every event that improves the best bid (a simple
+	// join-the-bid strategy), pricing at the new best bid.
+	Trigger func(m *feed.Msg, book *market.Book) (market.Price, market.Qty, market.Side, bool)
+	// Gate, if set, screens (and may reprice) every outgoing order — the
+	// §4.2 compliance hook, typically firm.Surveillance.Reprice bound to
+	// the destination exchange. Returning ok=false suppresses the order.
+	Gate func(sym market.SymbolID, side market.Side, price market.Price) (market.Price, bool)
+}
+
+// Strategy consumes the normalized feed, maintains books, and submits
+// orders through a gateway session.
+type Strategy struct {
+	cfg   StrategyConfig
+	sched *sim.Scheduler
+	u     *market.Universe
+	host  *netsim.Host
+	mdNIC *netsim.NIC
+	oeNIC *netsim.NIC
+
+	books map[market.SymbolID]*market.Book
+	reasm map[uint8]*feed.Reassembler
+
+	session *orderentry.ClientSession
+	stream  *netsim.Stream
+	nextOID uint64
+
+	// Probe measures decision latency (order-out minus last md-in) using
+	// frame origin timestamps — the §2 measurement.
+	Probe capture.LatencyProbe
+	// mdOrigins tracks the network origin time of the message that
+	// triggered each decision, for end-to-end (tick-to-trade) latency.
+	LastTriggerOrigin sim.Time
+
+	// Stats.
+	MsgsIn     uint64
+	OrdersSent uint64
+	Fills      uint64
+	Gated      uint64 // orders suppressed by the compliance gate
+	Repriced   uint64 // orders the gate moved to a compliant price
+}
+
+// NewStrategy builds a strategy host subscribed to the chosen partitions of
+// the normalized feed.
+func NewStrategy(sched *sim.Scheduler, u *market.Universe, name string, hostID uint32,
+	outMap *mcast.Map, cfg StrategyConfig) *Strategy {
+	s := &Strategy{
+		cfg:   cfg,
+		sched: sched,
+		u:     u,
+		books: make(map[market.SymbolID]*market.Book),
+		reasm: make(map[uint8]*feed.Reassembler),
+	}
+	s.host = netsim.NewHost(sched, name)
+	s.mdNIC = s.host.AddNIC("md", hostID)
+	s.oeNIC = s.host.AddNIC("oe", hostID+1)
+
+	parts := cfg.Subscriptions
+	if len(parts) == 0 {
+		for i := 0; i < outMap.Partitioner().Partitions(); i++ {
+			parts = append(parts, i)
+		}
+	}
+	for _, i := range parts {
+		s.mdNIC.Join(outMap.GroupByIndex(i))
+		s.reasm[uint8(i)] = feed.NewReassembler(uint8(i))
+	}
+	s.mdNIC.OnFrame = s.onFrame
+	return s
+}
+
+// MDNIC returns the market-data NIC.
+func (s *Strategy) MDNIC() *netsim.NIC { return s.mdNIC }
+
+// OENIC returns the order-entry NIC.
+func (s *Strategy) OENIC() *netsim.NIC { return s.oeNIC }
+
+// Session returns the gateway-facing order session (nil before
+// ConnectGateway).
+func (s *Strategy) Session() *orderentry.ClientSession { return s.session }
+
+// ConnectGateway opens the strategy's order path to a gateway: an internal
+// order-entry session over a reliable stream. The gateway must already have
+// accepted at gwAddr.
+func (s *Strategy) ConnectGateway(localPort uint16, gwAddr pkt.UDPAddr) {
+	mux := netsim.NewStreamMux(s.oeNIC)
+	s.stream = netsim.NewStream(s.oeNIC, localPort, gwAddr)
+	mux.Register(s.stream)
+	s.session = orderentry.NewClientSession(func(b []byte) { s.stream.Write(b) })
+	s.stream.OnData = func(b []byte) { s.session.Receive(b) }
+	s.session.OnFill = func(uint64, market.Qty, market.Price, bool) { s.Fills++ }
+	s.session.Logon()
+}
+
+// Book returns (creating if needed) the strategy's view of a symbol's book.
+func (s *Strategy) Book(id market.SymbolID) *market.Book {
+	b, ok := s.books[id]
+	if !ok {
+		b = market.NewBook(id)
+		s.books[id] = b
+	}
+	return b
+}
+
+func (s *Strategy) onFrame(_ *netsim.NIC, f *netsim.Frame) {
+	var uf pkt.UDPFrame
+	if err := pkt.ParseUDPFrame(f.Data, &uf); err != nil {
+		return
+	}
+	var h feed.UnitHeader
+	if _, err := feed.DecodeUnitHeader(uf.Payload, &h); err != nil {
+		return
+	}
+	r, ok := s.reasm[h.Unit]
+	if !ok {
+		return
+	}
+	r.Consume(uf.Payload, func(m *feed.Msg) {
+		s.MsgsIn++
+		s.Probe.Input(s.sched.Now())
+		s.apply(m, f.Origin)
+	})
+}
+
+// apply updates book state and runs the trigger.
+func (s *Strategy) apply(m *feed.Msg, origin sim.Time) {
+	var book *market.Book
+	var preBBO market.BBO
+	switch m.Type {
+	case feed.MsgAddOrder:
+		if id, ok := s.u.Lookup(m.SymbolString()); ok {
+			book = s.Book(id)
+			preBBO = book.BBO()
+			book.Add(market.Order{
+				ID:     market.OrderID(m.OrderID),
+				Symbol: id,
+				Side:   m.Side,
+				Price:  market.Price(m.Price),
+				Qty:    market.Qty(m.Qty),
+			})
+		}
+	case feed.MsgDeleteOrder:
+		for _, b := range s.books {
+			if b.Cancel(market.OrderID(m.OrderID)) {
+				book = b
+				break
+			}
+		}
+	case feed.MsgReduceSize, feed.MsgOrderExecuted:
+		for _, b := range s.books {
+			if o, ok := b.Lookup(market.OrderID(m.OrderID)); ok {
+				rem := o.Qty - market.Qty(m.Qty)
+				if rem < 0 {
+					rem = 0
+				}
+				b.Modify(market.OrderID(m.OrderID), o.Price, rem)
+				book = b
+				break
+			}
+		}
+	case feed.MsgModifyOrder:
+		for _, b := range s.books {
+			if _, ok := b.Lookup(market.OrderID(m.OrderID)); ok {
+				b.Modify(market.OrderID(m.OrderID), market.Price(m.Price), market.Qty(m.Qty))
+				book = b
+				break
+			}
+		}
+	}
+	if book == nil || s.session == nil || !s.session.LoggedOn() {
+		return
+	}
+	price, qty, side, fire := s.trigger(m, book, preBBO)
+	if !fire {
+		return
+	}
+	s.LastTriggerOrigin = origin
+	s.sched.After(s.cfg.DecisionLatency, func() {
+		sym := book.Symbol()
+		sendPrice := price
+		if s.cfg.Gate != nil {
+			p, ok := s.cfg.Gate(sym, side, price)
+			if !ok {
+				s.Gated++
+				return
+			}
+			if p != price {
+				s.Repriced++
+			}
+			sendPrice = p
+		}
+		s.nextOID++
+		s.session.NewOrder(s.nextOID, sym, side, sendPrice, qty)
+		s.OrdersSent++
+		s.Probe.Order(s.sched.Now())
+	})
+}
+
+func (s *Strategy) trigger(m *feed.Msg, book *market.Book, preBBO market.BBO) (market.Price, market.Qty, market.Side, bool) {
+	if s.cfg.Trigger != nil {
+		return s.cfg.Trigger(m, book)
+	}
+	// Default join-the-bid: act only when a new bid strictly improves the
+	// pre-event best bid. The strict comparison keeps the strategy from
+	// chasing the reflection of its own order on the feed.
+	if m.Type != feed.MsgAddOrder || m.Side != market.Buy {
+		return 0, 0, 0, false
+	}
+	if preBBO.Bid.Size > 0 && market.Price(m.Price) <= preBBO.Bid.Price {
+		return 0, 0, 0, false
+	}
+	bbo := book.BBO()
+	if bbo.Bid.Size > 0 {
+		return bbo.Bid.Price, 100, market.Buy, true
+	}
+	return 0, 0, 0, false
+}

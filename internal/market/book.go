@@ -1,0 +1,250 @@
+package market
+
+import "sort"
+
+// level is one price level: a FIFO queue of resting orders.
+type level struct {
+	price  Price
+	orders []*bookOrder // time priority: index 0 is oldest
+	size   Qty          // sum of live order quantities
+}
+
+type bookOrder struct {
+	Order
+	lvl *level
+}
+
+// Book is a single-symbol limit order book with price-time priority
+// matching — the core of the exchange substrate. It supports the order
+// operations the paper lists for order-entry protocols (§2): enter, cancel,
+// modify price/size; and produces the fills and BBO changes that feed the
+// market-data publisher.
+type Book struct {
+	symbol SymbolID
+	bids   []*level // sorted descending by price (best first)
+	asks   []*level // sorted ascending by price (best first)
+	orders map[OrderID]*bookOrder
+
+	// OnBBOChange, if set, is invoked after any operation that moved the
+	// best bid or offer (price or size). Figure 2(b) counts exactly these
+	// events.
+	OnBBOChange func(BBO)
+
+	lastBBO BBO
+}
+
+// NewBook returns an empty book for symbol.
+func NewBook(symbol SymbolID) *Book {
+	return &Book{symbol: symbol, orders: make(map[OrderID]*bookOrder)}
+}
+
+// Symbol returns the book's symbol.
+func (b *Book) Symbol() SymbolID { return b.symbol }
+
+// Orders returns the number of resting orders.
+func (b *Book) Orders() int { return len(b.orders) }
+
+func sideLevels(b *Book, s Side) *[]*level {
+	if s == Buy {
+		return &b.bids
+	}
+	return &b.asks
+}
+
+// better reports whether price p is more aggressive than q on side s.
+func better(s Side, p, q Price) bool {
+	if s == Buy {
+		return p > q
+	}
+	return p < q
+}
+
+// crosses reports whether an order at price p on side s would trade with a
+// resting order at price q on the opposite side.
+func crosses(s Side, p, q Price) bool {
+	if s == Buy {
+		return p >= q
+	}
+	return p <= q
+}
+
+func (b *Book) findLevel(s Side, p Price, create bool) *level {
+	lvls := sideLevels(b, s)
+	i := sort.Search(len(*lvls), func(i int) bool {
+		return !better(s, (*lvls)[i].price, p)
+	})
+	if i < len(*lvls) && (*lvls)[i].price == p {
+		return (*lvls)[i]
+	}
+	if !create {
+		return nil
+	}
+	l := &level{price: p}
+	*lvls = append(*lvls, nil)
+	copy((*lvls)[i+1:], (*lvls)[i:])
+	(*lvls)[i] = l
+	return l
+}
+
+func (b *Book) removeLevelIfEmpty(s Side, l *level) {
+	if l.size > 0 {
+		return
+	}
+	lvls := sideLevels(b, s)
+	for i, cand := range *lvls {
+		if cand == l {
+			copy((*lvls)[i:], (*lvls)[i+1:])
+			(*lvls)[len(*lvls)-1] = nil
+			*lvls = (*lvls)[:len(*lvls)-1]
+			return
+		}
+	}
+}
+
+// BBO returns the current best bid and offer.
+func (b *Book) BBO() BBO {
+	var out BBO
+	if len(b.bids) > 0 {
+		out.Bid = Quote{Price: b.bids[0].price, Size: b.bids[0].size}
+	}
+	if len(b.asks) > 0 {
+		out.Ask = Quote{Price: b.asks[0].price, Size: b.asks[0].size}
+	}
+	return out
+}
+
+// Depth returns the number of price levels on side s.
+func (b *Book) Depth(s Side) int { return len(*sideLevels(b, s)) }
+
+func (b *Book) notifyIfBBOChanged() bool {
+	now := b.BBO()
+	if now == b.lastBBO {
+		return false
+	}
+	b.lastBBO = now
+	if b.OnBBOChange != nil {
+		b.OnBBOChange(now)
+	}
+	return true
+}
+
+// Add enters a limit order. If it crosses resting liquidity it matches
+// immediately (price-time priority, at the resting price); any remainder
+// rests. It returns the fills generated, in execution order.
+func (b *Book) Add(o Order) []Fill {
+	if o.Qty <= 0 {
+		return nil
+	}
+	if _, dup := b.orders[o.ID]; dup {
+		return nil
+	}
+	var fills []Fill
+	opp := sideLevels(b, o.Side.Opposite())
+	for o.Qty > 0 && len(*opp) > 0 && crosses(o.Side, o.Price, (*opp)[0].price) {
+		lvl := (*opp)[0]
+		for o.Qty > 0 && len(lvl.orders) > 0 {
+			rest := lvl.orders[0]
+			qty := o.Qty
+			if rest.Qty < qty {
+				qty = rest.Qty
+			}
+			fills = append(fills, Fill{Resting: rest.ID, Incoming: o.ID, Price: lvl.price, Qty: qty})
+			rest.Qty -= qty
+			lvl.size -= qty
+			o.Qty -= qty
+			if rest.Qty == 0 {
+				lvl.orders = lvl.orders[1:]
+				delete(b.orders, rest.ID)
+			}
+		}
+		b.removeLevelIfEmpty(o.Side.Opposite(), lvl)
+	}
+	if o.Qty > 0 {
+		lvl := b.findLevel(o.Side, o.Price, true)
+		bo := &bookOrder{Order: o, lvl: lvl}
+		lvl.orders = append(lvl.orders, bo)
+		lvl.size += o.Qty
+		b.orders[o.ID] = bo
+	}
+	b.notifyIfBBOChanged()
+	return fills
+}
+
+// Cancel removes a resting order. It reports whether the order was live —
+// false models the cancel-vs-fill race in §2: the cancel arrived after the
+// order had already traded.
+func (b *Book) Cancel(id OrderID) bool {
+	bo, ok := b.orders[id]
+	if !ok {
+		return false
+	}
+	lvl := bo.lvl
+	for i, cand := range lvl.orders {
+		if cand == bo {
+			copy(lvl.orders[i:], lvl.orders[i+1:])
+			lvl.orders[len(lvl.orders)-1] = nil
+			lvl.orders = lvl.orders[:len(lvl.orders)-1]
+			break
+		}
+	}
+	lvl.size -= bo.Qty
+	delete(b.orders, id)
+	b.removeLevelIfEmpty(bo.Side, lvl)
+	b.notifyIfBBOChanged()
+	return true
+}
+
+// Modify changes a resting order's price and/or quantity. Price changes and
+// quantity increases lose time priority (the order is re-entered and may
+// trade on arrival, exactly like exchange modify semantics); a pure quantity
+// decrease keeps priority. It returns any fills from re-entry and whether
+// the order was live.
+func (b *Book) Modify(id OrderID, price Price, qty Qty) ([]Fill, bool) {
+	bo, ok := b.orders[id]
+	if !ok {
+		return nil, false
+	}
+	if price == bo.Price && qty < bo.Qty && qty > 0 {
+		bo.lvl.size -= bo.Qty - qty
+		bo.Qty = qty
+		b.notifyIfBBOChanged()
+		return nil, true
+	}
+	sym, side := bo.Symbol, bo.Side
+	b.Cancel(id)
+	if qty <= 0 {
+		return nil, true
+	}
+	fills := b.Add(Order{ID: id, Symbol: sym, Side: side, Price: price, Qty: qty})
+	return fills, true
+}
+
+// Level is one aggregated price level in a depth snapshot.
+type Level struct {
+	Price  Price
+	Size   Qty
+	Orders int
+}
+
+// Levels returns up to n aggregated levels on side s, best first — the
+// depth-of-book view strategies maintain from the feed.
+func (b *Book) Levels(s Side, n int) []Level {
+	lvls := *sideLevels(b, s)
+	if n > len(lvls) {
+		n = len(lvls)
+	}
+	out := make([]Level, 0, n)
+	for _, l := range lvls[:n] {
+		out = append(out, Level{Price: l.price, Size: l.size, Orders: len(l.orders)})
+	}
+	return out
+}
+
+// Lookup returns a copy of a resting order's current state.
+func (b *Book) Lookup(id OrderID) (Order, bool) {
+	bo, ok := b.orders[id]
+	if !ok {
+		return Order{}, false
+	}
+	return bo.Order, true
+}

@@ -1,0 +1,289 @@
+// Package metrics provides the measurement primitives used by every
+// experiment: latency histograms with percentile queries, simple counters,
+// and fixed-width windowed time series (the aggregation behind the paper's
+// Figure 2(b) 1-second windows and Figure 2(c) 100-microsecond windows).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram records int64 samples (typically picosecond latencies or byte
+// counts) with exact min/max/mean and quantiles computed from
+// log-linear buckets, in the style of HDR histograms: each power-of-two
+// range is split into 32 linear sub-buckets, giving ~3% relative error on
+// quantiles across the full int64 range with a small fixed footprint.
+type Histogram struct {
+	count  int64
+	sum    int64
+	min    int64
+	max    int64
+	counts map[int]int64 // bucket index -> count
+	exact  []int64       // retained raw samples while small, for exact quantiles
+}
+
+const (
+	subBucketBits  = 5 // 32 linear sub-buckets per octave
+	subBuckets     = 1 << subBucketBits
+	exactThreshold = 4096 // keep raw samples up to this many for exact stats
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.MaxInt64, max: math.MinInt64, counts: make(map[int]int64)}
+}
+
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subBuckets {
+		return int(v)
+	}
+	// v lies in the octave [2^hi, 2^(hi+1)), split into 32 linear
+	// sub-buckets of width 2^(hi-5).
+	hi := 63 - leadingZeros64(uint64(v))
+	shift := hi - subBucketBits
+	sub := int(v>>uint(shift)) & (subBuckets - 1)
+	octave := hi - subBucketBits
+	return subBuckets + octave*subBuckets + sub
+}
+
+func bucketLow(idx int) int64 {
+	if idx < subBuckets {
+		return int64(idx)
+	}
+	idx -= subBuckets
+	octave := idx / subBuckets
+	sub := idx % subBuckets
+	base := int64(1) << uint(octave+subBucketBits)
+	width := int64(1) << uint(octave)
+	return base + int64(sub)*width
+}
+
+func bucketMid(idx int) int64 {
+	lo := bucketLow(idx)
+	if idx < subBuckets {
+		return lo
+	}
+	next := bucketLow(idx + 1)
+	return lo + (next-lo)/2
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Observe records one sample. Negative samples are clamped to zero: they can
+// only arise from clock-model skew and would otherwise corrupt quantiles.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[bucketIndex(v)]++
+	if h.exact != nil || h.count <= exactThreshold {
+		h.exact = append(h.exact, v)
+		if len(h.exact) > exactThreshold {
+			h.exact = nil // fall back to bucketed quantiles
+		}
+	}
+}
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Min returns the smallest sample, or 0 if empty.
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample, or 0 if empty.
+func (h *Histogram) Max() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the arithmetic mean, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the q-quantile (q in [0,1]). While the histogram holds at
+// most 4096 samples the answer is exact; beyond that it is the midpoint of
+// the log-linear bucket containing the quantile (≤ ~3% relative error).
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := int64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	if h.exact != nil {
+		sorted := append([]int64(nil), h.exact...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return sorted[rank]
+	}
+	idxs := make([]int, 0, len(h.counts))
+	for idx := range h.counts {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	var seen int64
+	for _, idx := range idxs {
+		seen += h.counts[idx]
+		if seen > rank {
+			mid := bucketMid(idx)
+			if mid < h.min {
+				mid = h.min
+			}
+			if mid > h.max {
+				mid = h.max
+			}
+			return mid
+		}
+	}
+	return h.Max()
+}
+
+// Median is Quantile(0.5).
+func (h *Histogram) Median() int64 { return h.Quantile(0.5) }
+
+// P99 is Quantile(0.99).
+func (h *Histogram) P99() int64 { return h.Quantile(0.99) }
+
+// Merge adds all of o's samples into h. Exactness is preserved only if the
+// merged sample count still fits the exact-retention threshold.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for idx, c := range o.counts {
+		h.counts[idx] += c
+	}
+	if h.exact != nil && o.exact != nil && int64(len(h.exact)+len(o.exact)) <= exactThreshold {
+		h.exact = append(h.exact, o.exact...)
+	} else {
+		h.exact = nil
+	}
+}
+
+// Reset empties the histogram.
+func (h *Histogram) Reset() {
+	h.count, h.sum = 0, 0
+	h.min, h.max = math.MaxInt64, math.MinInt64
+	h.counts = make(map[int]int64)
+	h.exact = h.exact[:0]
+}
+
+// String summarizes the distribution on one line.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "empty"
+	}
+	return fmt.Sprintf("n=%d min=%d p50=%d mean=%.1f p99=%d max=%d",
+		h.count, h.Min(), h.Median(), h.Mean(), h.P99(), h.Max())
+}
+
+// Summary holds a snapshot of a distribution's headline statistics.
+type Summary struct {
+	Count       int64
+	Min, Max    int64
+	Mean        float64
+	Median, P90 int64
+	P99, P999   int64
+}
+
+// Summarize captures the headline statistics of the histogram.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count:  h.Count(),
+		Min:    h.Min(),
+		Max:    h.Max(),
+		Mean:   h.Mean(),
+		Median: h.Median(),
+		P90:    h.Quantile(0.90),
+		P99:    h.P99(),
+		P999:   h.Quantile(0.999),
+	}
+}
+
+// Table renders rows of labeled summaries as a fixed-width text table, the
+// output format used by the experiment harness.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, hcol := range header {
+		widths[i] = len(hcol)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package netsim
+
+import (
+	"tradenet/internal/pkt"
+	"tradenet/internal/sim"
+)
+
+// NIC is a host network interface: a port plus address filtering and
+// multicast subscriptions. Servers in a trading plant have several NICs
+// with distinct roles — management, market data, orders (paper Fig. 1d) —
+// so a Host owns a set of named NICs.
+type NIC struct {
+	Port *Port
+	MAC  pkt.MAC
+	IP   pkt.IP4
+
+	host   *Host
+	groups map[pkt.MAC]bool
+
+	// Promiscuous disables destination filtering (tap/capture NICs).
+	Promiscuous bool
+
+	// Filtered counts frames dropped by address filtering — the NIC-level
+	// discard work that §3's "Implications" paragraph discusses placing
+	// in-process versus on a middlebox.
+	Filtered uint64
+
+	// OnFrame receives accepted frames. If nil, frames are counted and
+	// dropped.
+	OnFrame func(nic *NIC, f *Frame)
+}
+
+// Join subscribes the NIC to an IP multicast group (IGMP join in spirit).
+func (n *NIC) Join(group pkt.IP4) {
+	if n.groups == nil {
+		n.groups = make(map[pkt.MAC]bool)
+	}
+	n.groups[pkt.MulticastMAC(group)] = true
+}
+
+// Leave unsubscribes the NIC from a group.
+func (n *NIC) Leave(group pkt.IP4) { delete(n.groups, pkt.MulticastMAC(group)) }
+
+// Subscriptions returns the number of joined groups.
+func (n *NIC) Subscriptions() int { return len(n.groups) }
+
+// Addr returns the NIC's UDP address with the given port number.
+func (n *NIC) Addr(port uint16) pkt.UDPAddr {
+	return pkt.UDPAddr{MAC: n.MAC, IP: n.IP, Port: port}
+}
+
+// accepts applies destination filtering.
+func (n *NIC) accepts(dst pkt.MAC) bool {
+	if n.Promiscuous || dst == n.MAC {
+		return true
+	}
+	if dst.IsMulticast() {
+		return n.groups[dst]
+	}
+	return false
+}
+
+// Host is a server with one or more NICs. Frame dispatch to the application
+// happens after a configurable software receive latency, modelling the
+// kernel-bypass stack the paper assumes (~1 µs per software hop, §3).
+type Host struct {
+	Name  string
+	sched *sim.Scheduler
+	nics  []*NIC
+
+	// RxLatency is the software receive path cost applied between frame
+	// arrival and the application callback.
+	RxLatency sim.Duration
+}
+
+// NewHost creates a host with no NICs.
+func NewHost(sched *sim.Scheduler, name string) *Host {
+	return &Host{Name: name, sched: sched}
+}
+
+// Scheduler returns the host's scheduler (for app-level timers).
+func (h *Host) Scheduler() *sim.Scheduler { return h.sched }
+
+// AddNIC attaches a new NIC with addresses derived from id.
+func (h *Host) AddNIC(name string, id uint32) *NIC {
+	n := &NIC{MAC: pkt.HostMAC(id), IP: pkt.HostIP(id), host: h}
+	n.Port = NewPort(h.sched, (*hostHandler)(h), h.Name+"/"+name)
+	h.nics = append(h.nics, n)
+	return n
+}
+
+// NICs returns the host's interfaces.
+func (h *Host) NICs() []*NIC { return h.nics }
+
+// hostHandler adapts Host to the Handler interface without exposing
+// HandleFrame on Host's public API.
+type hostHandler Host
+
+// HandleFrame implements Handler: filter by NIC address, charge the
+// software receive latency, then deliver to the application.
+func (hh *hostHandler) HandleFrame(ingress *Port, f *Frame) {
+	h := (*Host)(hh)
+	var nic *NIC
+	for _, n := range h.nics {
+		if n.Port == ingress {
+			nic = n
+			break
+		}
+	}
+	if nic == nil {
+		return
+	}
+	var eth pkt.Ethernet
+	if _, err := eth.Decode(f.Data); err != nil {
+		nic.Filtered++
+		return
+	}
+	if !nic.accepts(eth.Dst) {
+		nic.Filtered++
+		return
+	}
+	if nic.OnFrame == nil {
+		return
+	}
+	if h.RxLatency <= 0 {
+		nic.OnFrame(nic, f)
+		return
+	}
+	h.sched.After(h.RxLatency, func() { nic.OnFrame(nic, f) })
+}
+
+// Send transmits a frame out of the NIC, stamping Origin if unset.
+func (n *NIC) Send(f *Frame) bool {
+	if f.Origin == 0 {
+		f.Origin = n.host.sched.Now()
+	}
+	return n.Port.Send(f)
+}
+
+// SendBytes builds a Frame around data (copying it) and transmits it.
+func (n *NIC) SendBytes(data []byte) bool {
+	return n.Send(&Frame{Data: append([]byte(nil), data...), Origin: n.host.sched.Now()})
+}

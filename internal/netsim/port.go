@@ -1,0 +1,191 @@
+// Package netsim models the physical network: ports, links, output queues,
+// NICs, hosts, and taps. A frame is a real byte slice (built by pkt);
+// transit charges serialization delay (frame bytes at line rate, plus
+// preamble and inter-frame gap), propagation delay (set by the link's
+// length and medium), and queueing delay (FIFO output queues with a finite
+// byte capacity; overflow drops the frame, as switches do).
+package netsim
+
+import (
+	"tradenet/internal/pkt"
+	"tradenet/internal/sim"
+	"tradenet/internal/units"
+)
+
+// FrameOverheadBytes is the per-frame wire overhead beyond the frame bytes:
+// 8 bytes of preamble/SFD plus a 12-byte minimum inter-frame gap.
+const FrameOverheadBytes = 20
+
+// Frame is a frame in flight. Data is the on-wire bytes excluding FCS;
+// Origin is the instant the originating application handed it to its NIC,
+// carried along so receivers can measure one-way latency the way the
+// paper's timestamping discussion describes (order-out minus md-in).
+type Frame struct {
+	Data   []byte
+	Origin sim.Time
+	ID     uint64
+}
+
+// Clone returns a deep copy of the frame. Replication points (multicast
+// fan-out) clone so downstream queues own their bytes.
+func (f *Frame) Clone() *Frame {
+	c := *f
+	c.Data = append([]byte(nil), f.Data...)
+	return &c
+}
+
+// Handler is anything that terminates frames: a switch, a host NIC stack,
+// an exchange port.
+type Handler interface {
+	// HandleFrame is invoked when a frame fully arrives at ingress.
+	HandleFrame(ingress *Port, f *Frame)
+}
+
+// Port is one end of a full-duplex link, with an egress FIFO queue.
+type Port struct {
+	Name  string
+	Owner Handler
+
+	peer *Port
+	rate units.Bandwidth
+	prop sim.Duration
+
+	sched *sim.Scheduler
+
+	queue      []*Frame
+	queueEnq   []sim.Time
+	queuedByte int
+	capBytes   int
+	draining   bool
+
+	// Tap, if set, observes every frame this port transmits, at the instant
+	// serialization starts — where a capture appliance's optical tap sits.
+	Tap func(f *Frame, at sim.Time)
+
+	// CutThrough marks a switch egress port: the frame's bits are already
+	// streaming (the source NIC serialized them once), so delivery is
+	// charged only propagation, while the line stays occupied for the full
+	// serialization time. Host NICs leave this false and charge
+	// serialization — once per path, matching cut-through fabric physics
+	// and the paper's per-hop arithmetic (12 hops × 500 ns + one
+	// serialization).
+	CutThrough bool
+
+	// LossProb is the probability a transmitted frame is lost in flight —
+	// the medium's error rate, e.g. rain fade on a microwave circuit (§2).
+	// Losses are drawn from the scheduler's deterministic RNG.
+	LossProb float64
+
+	// Stats.
+	TxFrames, RxFrames  uint64
+	TxBytes, RxBytes    uint64
+	Drops               uint64
+	Lost                uint64 // in-flight losses from LossProb
+	QueueHighWaterBytes int
+	QueueDelay          sim.Duration // cumulative queueing delay (sum)
+}
+
+// DefaultQueueBytes is the default egress buffer: 512 KiB, a typical
+// shallow-buffer ASIC share per port.
+const DefaultQueueBytes = 512 * 1024
+
+// NewPort creates an unconnected port owned by owner.
+func NewPort(sched *sim.Scheduler, owner Handler, name string) *Port {
+	return &Port{Name: name, Owner: owner, sched: sched, capBytes: DefaultQueueBytes}
+}
+
+// SetQueueCapacity overrides the egress buffer size in bytes.
+func (p *Port) SetQueueCapacity(bytes int) { p.capBytes = bytes }
+
+// Connect joins a and b with a full-duplex link of the given rate and
+// one-way propagation delay.
+func Connect(a, b *Port, rate units.Bandwidth, prop sim.Duration) {
+	if a.peer != nil || b.peer != nil {
+		panic("netsim: port already connected")
+	}
+	a.peer, b.peer = b, a
+	a.rate, b.rate = rate, rate
+	a.prop, b.prop = prop, prop
+}
+
+// Peer returns the port at the other end of the link, or nil.
+func (p *Port) Peer() *Port { return p.peer }
+
+// Rate returns the link rate.
+func (p *Port) Rate() units.Bandwidth { return p.rate }
+
+// Connected reports whether the port has a link.
+func (p *Port) Connected() bool { return p.peer != nil }
+
+// QueuedBytes returns the bytes currently waiting in the egress queue.
+func (p *Port) QueuedBytes() int { return p.queuedByte }
+
+// Send enqueues f for transmission. It reports false (and counts a drop)
+// when the egress buffer cannot hold the frame — tail-drop, as in shallow
+// switch buffers. The port takes ownership of the frame.
+func (p *Port) Send(f *Frame) bool {
+	if p.peer == nil {
+		panic("netsim: send on unconnected port " + p.Name)
+	}
+	if p.queuedByte+len(f.Data) > p.capBytes {
+		p.Drops++
+		return false
+	}
+	p.queue = append(p.queue, f)
+	p.queueEnq = append(p.queueEnq, p.sched.Now())
+	p.queuedByte += len(f.Data)
+	if p.queuedByte > p.QueueHighWaterBytes {
+		p.QueueHighWaterBytes = p.queuedByte
+	}
+	if !p.draining {
+		p.draining = true
+		p.sched.AtPrio(p.sched.Now(), sim.PrioDrain, p.drain)
+	}
+	return true
+}
+
+// drain transmits the head-of-line frame and reschedules itself until the
+// queue empties. One invocation per frame: the scheduler's clock provides
+// the serialization spacing.
+func (p *Port) drain() {
+	if len(p.queue) == 0 {
+		p.draining = false
+		return
+	}
+	f := p.queue[0]
+	enq := p.queueEnq[0]
+	p.queue = p.queue[1:]
+	p.queueEnq = p.queueEnq[1:]
+	p.queuedByte -= len(f.Data)
+
+	now := p.sched.Now()
+	p.QueueDelay += now.Sub(enq)
+	if p.Tap != nil {
+		p.Tap(f, now)
+	}
+	wire := pkt.WireSize(len(f.Data)) + FrameOverheadBytes
+	ser := units.SerializationDelay(wire, p.rate)
+	p.TxFrames++
+	p.TxBytes += uint64(len(f.Data))
+
+	if p.LossProb > 0 && p.sched.Rand().Float64() < p.LossProb {
+		// The frame leaves the port but never arrives.
+		p.Lost++
+		p.sched.AtPrio(now.Add(ser), sim.PrioDrain, p.drain)
+		return
+	}
+
+	peer := p.peer
+	delay := ser + p.prop
+	if p.CutThrough {
+		delay = p.prop
+	}
+	arrive := now.Add(delay)
+	p.sched.At(arrive, func() {
+		peer.RxFrames++
+		peer.RxBytes += uint64(len(f.Data))
+		peer.Owner.HandleFrame(peer, f)
+	})
+	// Next frame may start once this one's bits have left.
+	p.sched.AtPrio(now.Add(ser), sim.PrioDrain, p.drain)
+}

@@ -1,0 +1,202 @@
+package netsim
+
+import (
+	"tradenet/internal/pkt"
+	"tradenet/internal/sim"
+)
+
+// MSS is the stream segment payload limit: a full frame minus headers.
+const MSS = pkt.MaxFrameNoFCS - pkt.EthernetHeaderLen - pkt.IPv4HeaderLen - pkt.TCPHeaderLen
+
+// Stream is one endpoint of a reliable, ordered byte stream carried in TCP
+// frames over the simulated network — the transport under the order-entry
+// sessions (§2: orders ride long-lived TCP connections). It implements
+// go-back-N with cumulative ACKs and timeout retransmission; no handshake
+// or teardown, because trading sessions live for the whole day and the
+// application's logon is the real handshake.
+type Stream struct {
+	nic    *NIC
+	local  pkt.UDPAddr
+	remote pkt.UDPAddr
+	sched  *sim.Scheduler
+
+	sndNxt uint32 // next byte sequence to send
+	sndUna uint32 // oldest unacknowledged byte
+	rcvNxt uint32 // next byte sequence expected
+
+	unacked []segment
+	rtoEv   *sim.Event
+
+	// RTO is the retransmission timeout. Intra-colo RTTs are microseconds;
+	// the default is generous without stalling experiments.
+	RTO sim.Duration
+
+	// OnData receives in-order stream bytes. The slice is only valid during
+	// the callback.
+	OnData func([]byte)
+
+	// Stats.
+	Retransmits  uint64
+	SentSegments uint64
+	RecvSegments uint64
+
+	scratch []byte
+}
+
+type segment struct {
+	seq  uint32
+	data []byte
+}
+
+// NewStream creates a stream endpoint sending from local to remote via nic.
+// The caller routes inbound TCP frames to Deliver (usually via a StreamMux).
+func NewStream(nic *NIC, localPort uint16, remote pkt.UDPAddr) *Stream {
+	return &Stream{
+		nic:    nic,
+		local:  nic.Addr(localPort),
+		remote: remote,
+		sched:  nic.host.sched,
+		RTO:    200 * sim.Microsecond,
+	}
+}
+
+// Local returns the stream's local address.
+func (s *Stream) Local() pkt.UDPAddr { return s.local }
+
+// Remote returns the stream's remote address.
+func (s *Stream) Remote() pkt.UDPAddr { return s.remote }
+
+// InFlight returns the number of unacknowledged bytes.
+func (s *Stream) InFlight() int { return int(s.sndNxt - s.sndUna) }
+
+// Write queues data for reliable delivery and transmits it immediately.
+func (s *Stream) Write(data []byte) {
+	for len(data) > 0 {
+		n := len(data)
+		if n > MSS {
+			n = MSS
+		}
+		seg := segment{seq: s.sndNxt, data: append([]byte(nil), data[:n]...)}
+		s.unacked = append(s.unacked, seg)
+		s.sndNxt += uint32(n)
+		s.transmit(seg)
+		data = data[n:]
+	}
+	s.armRTO()
+}
+
+func (s *Stream) transmit(seg segment) {
+	hdr := pkt.TCP{Seq: seg.seq, Ack: s.rcvNxt, Flags: pkt.FlagACK | pkt.FlagPSH}
+	s.scratch = pkt.AppendTCPFrame(s.scratch[:0], s.local, s.remote, &hdr, seg.data)
+	s.SentSegments++
+	s.nic.Send(&Frame{Data: append([]byte(nil), s.scratch...), Origin: s.sched.Now()})
+}
+
+func (s *Stream) sendAck() {
+	hdr := pkt.TCP{Seq: s.sndNxt, Ack: s.rcvNxt, Flags: pkt.FlagACK}
+	s.scratch = pkt.AppendTCPFrame(s.scratch[:0], s.local, s.remote, &hdr, nil)
+	s.nic.Send(&Frame{Data: append([]byte(nil), s.scratch...), Origin: s.sched.Now()})
+}
+
+func (s *Stream) armRTO() {
+	if s.rtoEv != nil {
+		s.rtoEv.Cancel()
+		s.rtoEv = nil
+	}
+	if len(s.unacked) == 0 {
+		return
+	}
+	s.rtoEv = s.sched.After(s.RTO, s.onRTO)
+}
+
+func (s *Stream) onRTO() {
+	s.rtoEv = nil
+	if len(s.unacked) == 0 {
+		return
+	}
+	// Go-back-N: retransmit everything outstanding.
+	for _, seg := range s.unacked {
+		s.Retransmits++
+		s.transmit(seg)
+	}
+	s.armRTO()
+}
+
+// Deliver ingests one TCP frame addressed to this stream.
+func (s *Stream) Deliver(f *pkt.TCPFrame) {
+	// ACK processing: drop fully acknowledged segments.
+	if f.TCP.Flags&pkt.FlagACK != 0 {
+		ack := f.TCP.Ack
+		if int32(ack-s.sndUna) > 0 {
+			s.sndUna = ack
+			keep := s.unacked[:0]
+			for _, seg := range s.unacked {
+				if int32(seg.seq+uint32(len(seg.data))-ack) > 0 {
+					keep = append(keep, seg)
+				}
+			}
+			s.unacked = keep
+			s.armRTO()
+		}
+	}
+	if len(f.Payload) == 0 {
+		return
+	}
+	s.RecvSegments++
+	switch {
+	case f.TCP.Seq == s.rcvNxt:
+		s.rcvNxt += uint32(len(f.Payload))
+		if s.OnData != nil {
+			s.OnData(f.Payload)
+		}
+		s.sendAck()
+	case int32(f.TCP.Seq-s.rcvNxt) < 0:
+		// Duplicate of already-delivered data: re-ACK so the sender stops.
+		s.sendAck()
+	default:
+		// Out of order (a gap precedes it): go-back-N receivers drop it and
+		// re-ACK the last in-order byte.
+		s.sendAck()
+	}
+}
+
+// StreamMux demultiplexes a NIC's inbound TCP frames to streams by the
+// (remote IP, remote port, local port) triple, and passes non-TCP frames to
+// Fallback (market data and order traffic can share a NIC even though
+// production plants separate them — Fig. 1d).
+type StreamMux struct {
+	streams  map[muxKey]*Stream
+	Fallback func(nic *NIC, f *Frame)
+}
+
+type muxKey struct {
+	remoteIP   pkt.IP4
+	remotePort uint16
+	localPort  uint16
+}
+
+// NewStreamMux installs a mux as nic's frame handler and returns it.
+func NewStreamMux(nic *NIC) *StreamMux {
+	m := &StreamMux{streams: make(map[muxKey]*Stream)}
+	nic.OnFrame = m.handle
+	return m
+}
+
+// Register attaches a stream to the mux.
+func (m *StreamMux) Register(s *Stream) {
+	m.streams[muxKey{s.remote.IP, s.remote.Port, s.local.Port}] = s
+}
+
+func (m *StreamMux) handle(nic *NIC, f *Frame) {
+	var tf pkt.TCPFrame
+	if err := pkt.ParseTCPFrame(f.Data, &tf); err == nil {
+		key := muxKey{tf.IP.Src, tf.TCP.SrcPort, tf.TCP.DstPort}
+		if s, ok := m.streams[key]; ok {
+			s.Deliver(&tf)
+			return
+		}
+	}
+	if m.Fallback != nil {
+		m.Fallback(nic, f)
+	}
+}

@@ -1,0 +1,333 @@
+package orderentry
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tradenet/internal/market"
+)
+
+func TestKindNames(t *testing.T) {
+	kinds := []Kind{KindLogon, KindNewOrder, KindCancelOrder, KindModifyOrder,
+		KindHeartbeat, KindLogonAck, KindOrderAck, KindReject, KindFill,
+		KindCancelAck, KindCancelReject, KindModifyAck}
+	seen := map[Kind]bool{}
+	for _, k := range kinds {
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d unnamed", k)
+		}
+		if seen[k] {
+			t.Fatalf("kind value collision at %d", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestMsgRoundTripAllKinds(t *testing.T) {
+	msgs := []Msg{
+		{Kind: KindLogon},
+		{Kind: KindHeartbeat},
+		{Kind: KindNewOrder, OrderID: 9, Symbol: 3, Side: market.Sell, Price: 1502500, Qty: 100},
+		{Kind: KindModifyOrder, OrderID: 9, Symbol: 3, Side: market.Sell, Price: 1502600, Qty: 50},
+		{Kind: KindCancelOrder, OrderID: 9},
+		{Kind: KindLogonAck},
+		{Kind: KindOrderAck, OrderID: 9},
+		{Kind: KindModifyAck, OrderID: 9},
+		{Kind: KindReject, OrderID: 9, Reason: RejectUnknownSymbol},
+		{Kind: KindFill, OrderID: 9, ExecQty: 40, ExecPrice: 1502500},
+		{Kind: KindCancelAck, OrderID: 9},
+		{Kind: KindCancelReject, OrderID: 9},
+	}
+	for i := range msgs {
+		msgs[i].Seq = uint32(i + 1)
+		b := Append(nil, &msgs[i])
+		var got Msg
+		rest, err := Decode(b, &got)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("%v: err=%v rest=%d", msgs[i].Kind, err, len(rest))
+		}
+		if got != msgs[i] {
+			t.Fatalf("%v:\n got %+v\nwant %+v", msgs[i].Kind, got, msgs[i])
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	var m Msg
+	if _, err := Decode([]byte{0, 10}, &m); err != ErrShort {
+		t.Fatalf("short: %v", err)
+	}
+	bad := Append(nil, &Msg{Kind: KindOrderAck, OrderID: 1})
+	bad[2] = 0x7F // unknown kind
+	if _, err := Decode(bad, &m); err != ErrUnknown {
+		t.Fatalf("unknown: %v", err)
+	}
+	// Declared length inconsistent with the kind's body size.
+	bad2 := Append(nil, &Msg{Kind: KindOrderAck, OrderID: 1})
+	bad2[1] = byte(len(bad2) + 5)
+	bad2 = append(bad2, 0, 0, 0, 0, 0)
+	if _, err := Decode(bad2, &m); err != ErrShort {
+		t.Fatalf("length mismatch: %v", err)
+	}
+}
+
+func TestDecodeFuzzNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		var m Msg
+		_, err := Decode(data, &m)
+		_ = err
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFramerReassemblesArbitrarySegments(t *testing.T) {
+	var stream []byte
+	for i := 1; i <= 10; i++ {
+		stream = Append(stream, &Msg{Kind: KindOrderAck, Seq: uint32(i), OrderID: uint64(i)})
+	}
+	// Deliver in 3-byte segments: every message must still arrive, once, in
+	// order.
+	var f Framer
+	var got []uint64
+	for off := 0; off < len(stream); off += 3 {
+		end := off + 3
+		if end > len(stream) {
+			end = len(stream)
+		}
+		if err := f.Feed(stream[off:end], func(m *Msg) { got = append(got, m.OrderID) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d messages", len(got))
+	}
+	for i, id := range got {
+		if id != uint64(i+1) {
+			t.Fatalf("order ids = %v", got)
+		}
+	}
+	if f.Buffered() != 0 {
+		t.Fatalf("buffered = %d", f.Buffered())
+	}
+}
+
+func TestFramerRejectsCorruptStream(t *testing.T) {
+	var f Framer
+	err := f.Feed([]byte{0, 1, 0, 0, 0, 0, 0, 0}, func(*Msg) {})
+	if err != ErrShort {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// pipe wires a client session and an exchange session back to back with
+// immediate, in-order delivery.
+func pipe() (*ClientSession, *ExchangeSession) {
+	var c *ClientSession
+	var e *ExchangeSession
+	c = NewClientSession(func(b []byte) {
+		if err := e.Receive(b); err != nil {
+			panic(err)
+		}
+	})
+	e = NewExchangeSession(func(b []byte) {
+		if err := c.Receive(b); err != nil {
+			panic(err)
+		}
+	})
+	return c, e
+}
+
+func TestSessionLogonHandshake(t *testing.T) {
+	c, e := pipe()
+	if err := c.NewOrder(1, 1, market.Buy, 100, 10); err != ErrNotLoggedOn {
+		t.Fatalf("pre-logon order err = %v", err)
+	}
+	logged := false
+	c.OnLogon = func() { logged = true }
+	c.Logon()
+	if !c.LoggedOn() || !logged || !e.logged {
+		t.Fatal("handshake incomplete")
+	}
+	c.Heartbeat() // must not disturb anything
+}
+
+func TestSessionOrderLifecycle(t *testing.T) {
+	c, e := pipe()
+	book := market.NewBook(1)
+	var nextID market.OrderID = 1
+	ids := map[uint64]market.OrderID{}
+	e.OnNew = func(m *Msg) {
+		exID := nextID
+		nextID++
+		ids[m.OrderID] = exID
+		e.Ack(m.OrderID, uint64(exID))
+		for _, fl := range book.Add(market.Order{ID: exID, Symbol: m.Symbol, Side: m.Side, Price: m.Price, Qty: m.Qty}) {
+			// Report the incoming side's fill only (resting side belongs to
+			// another session in reality; here both are ours).
+			e.Fill(m.OrderID, fl.Qty, fl.Price)
+			for cid, eid := range ids {
+				if eid == fl.Resting {
+					e.Fill(cid, fl.Qty, fl.Price)
+				}
+			}
+		}
+	}
+	e.OnCancel = func(m *Msg) {
+		if eid, ok := ids[m.OrderID]; ok && book.Cancel(eid) {
+			e.CancelAck(m.OrderID)
+			return
+		}
+		e.CancelReject(m.OrderID)
+	}
+
+	var fills []market.Qty
+	c.OnFill = func(_ uint64, qty market.Qty, _ market.Price, _ bool) { fills = append(fills, qty) }
+	var acks, cancelAcks, cancelRejects int
+	c.OnAck = func(uint64) { acks++ }
+	c.OnCancelAck = func(uint64) { cancelAcks++ }
+	c.OnCancelReject = func(uint64) { cancelRejects++ }
+
+	c.Logon()
+	c.NewOrder(100, 1, market.Buy, 1000, 50)
+	c.NewOrder(101, 1, market.Sell, 1000, 30) // crosses: 30 fills both ways
+	if acks != 2 {
+		t.Fatalf("acks = %d", acks)
+	}
+	if len(fills) != 2 || fills[0] != 30 || fills[1] != 30 {
+		t.Fatalf("fills = %v", fills)
+	}
+	st, ok := c.Order(100)
+	if !ok || st.Qty != 20 || st.Filled != 30 {
+		t.Fatalf("order 100 state = %+v ok=%v", st, ok)
+	}
+	if _, ok := c.Order(101); ok {
+		t.Fatal("order 101 fully filled, should be closed")
+	}
+	// Cancel the remainder: succeeds.
+	c.Cancel(100)
+	if cancelAcks != 1 || c.Open() != 0 {
+		t.Fatalf("cancelAcks=%d open=%d", cancelAcks, c.Open())
+	}
+	// Cancel-vs-fill race: cancel an order that is already gone.
+	c.Cancel(101)
+	if cancelRejects != 1 {
+		t.Fatalf("cancelRejects = %d", cancelRejects)
+	}
+}
+
+func TestSessionRejects(t *testing.T) {
+	c, e := pipe()
+	e.Validate = func(m *Msg) RejectReason {
+		if m.Symbol == 0 {
+			return RejectUnknownSymbol
+		}
+		if m.Qty <= 0 {
+			return RejectBadQty
+		}
+		return RejectNone
+	}
+	var rejects []RejectReason
+	c.OnReject = func(_ uint64, r RejectReason) { rejects = append(rejects, r) }
+	c.Logon()
+	c.NewOrder(1, 0, market.Buy, 100, 10) // unknown symbol
+	c.NewOrder(2, 1, market.Buy, 100, 0)  // bad qty
+	c.NewOrder(3, 1, market.Buy, 100, 10) // fine (no engine: silently accepted)
+	c.NewOrder(3, 1, market.Buy, 100, 10) // duplicate id
+	if len(rejects) != 3 || rejects[0] != RejectUnknownSymbol || rejects[1] != RejectBadQty || rejects[2] != RejectDuplicateID {
+		t.Fatalf("rejects = %v", rejects)
+	}
+	// Reusing an order ID is a client bug: the duplicate's reject collides
+	// with the original's client-side state and clears it. Nothing remains
+	// open — which is exactly why real firms never reuse IDs intraday.
+	if c.Open() != 0 {
+		t.Fatalf("open = %d", c.Open())
+	}
+}
+
+func TestSessionModify(t *testing.T) {
+	c, e := pipe()
+	var modified *Msg
+	e.OnModify = func(m *Msg) { cp := *m; modified = &cp; e.ModifyAck(m.OrderID) }
+	c.Logon()
+	c.NewOrder(1, 7, market.Buy, 1000, 10)
+	c.Modify(1, 1005, 20)
+	if modified == nil || modified.Price != 1005 || modified.Qty != 20 || modified.Symbol != 7 {
+		t.Fatalf("modify = %+v", modified)
+	}
+	st, _ := c.Order(1)
+	if !st.Acked {
+		t.Fatal("modify-ack should mark acked")
+	}
+	// Modify of unknown order is a no-op client-side.
+	modified = nil
+	c.Modify(404, 1, 1)
+	if modified != nil {
+		t.Fatal("unknown modify should not reach exchange")
+	}
+}
+
+func TestSessionSequenceGapDetected(t *testing.T) {
+	var e *ExchangeSession
+	e = NewExchangeSession(func([]byte) {})
+	// Handcraft a stream that skips seq 2.
+	b := Append(nil, &Msg{Kind: KindLogon, Seq: 1})
+	b = Append(b, &Msg{Kind: KindHeartbeat, Seq: 3})
+	if err := e.Receive(b); err != ErrSeqGap {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExchangeRejectsPreLogonRequests(t *testing.T) {
+	var out []byte
+	e := NewExchangeSession(func(b []byte) { out = append(out, b...) })
+	b := Append(nil, &Msg{Kind: KindNewOrder, Seq: 1, OrderID: 5, Symbol: 1, Qty: 1, Price: 1})
+	if err := e.Receive(b); err != nil {
+		t.Fatal(err)
+	}
+	var m Msg
+	if _, err := Decode(out, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != KindReject || m.Reason != RejectNotLoggedOn {
+		t.Fatalf("response = %+v", m)
+	}
+}
+
+func BenchmarkSessionNewOrderRoundTrip(b *testing.B) {
+	c, e := pipe()
+	e.OnNew = func(m *Msg) { e.Ack(m.OrderID, m.OrderID+500) }
+	c.Logon()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.NewOrder(uint64(i+1), 1, market.Buy, 1000, 10)
+	}
+}
+
+func TestAckCarriesExchangeOrderID(t *testing.T) {
+	// Wire round trip of the drop-copy linkage.
+	m := Msg{Kind: KindOrderAck, Seq: 1, OrderID: 7, ExchOrderID: 424242}
+	b := Append(nil, &m)
+	var got Msg
+	if _, err := Decode(b, &got); err != nil || got != m {
+		t.Fatalf("round trip: %+v err=%v", got, err)
+	}
+	// Session propagation: the client records the exchange id and fires the
+	// linkage callback.
+	c, e := pipe()
+	e.OnNew = func(msg *Msg) { e.Ack(msg.OrderID, 999_000+msg.OrderID) }
+	var linked [][2]uint64
+	c.OnExchangeID = func(oid, exid uint64) { linked = append(linked, [2]uint64{oid, exid}) }
+	c.Logon()
+	c.NewOrder(5, 1, market.Buy, 100, 10)
+	if len(linked) != 1 || linked[0] != [2]uint64{5, 999_005} {
+		t.Fatalf("linked = %v", linked)
+	}
+	st, _ := c.Order(5)
+	if st.ExchID != 999_005 {
+		t.Fatalf("state ExchID = %d", st.ExchID)
+	}
+}

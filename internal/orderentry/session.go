@@ -1,0 +1,324 @@
+package orderentry
+
+import (
+	"errors"
+
+	"tradenet/internal/market"
+)
+
+// Errors surfaced by session state machines.
+var (
+	ErrSeqGap      = errors.New("orderentry: sequence gap on session")
+	ErrNotLoggedOn = errors.New("orderentry: operation before logon")
+)
+
+// OrderState tracks a client's view of one working order.
+type OrderState struct {
+	Symbol    market.SymbolID
+	Side      market.Side
+	Price     market.Price
+	Qty       market.Qty // current working quantity
+	Filled    market.Qty
+	Acked     bool
+	CancelReq bool   // cancel in flight — the §2 race window
+	ExchID    uint64 // the exchange's id for this order (from the ack)
+}
+
+// ClientSession is the trading-firm side of an order-entry connection. It
+// frames inbound bytes, verifies sequencing, tracks working orders, and
+// encodes outbound requests. Transmission is delegated to send, so the
+// session runs over any byte-stream transport (the simulator's TCP model).
+type ClientSession struct {
+	send    func([]byte)
+	framer  Framer
+	seqOut  uint32
+	seqIn   uint32
+	logged  bool
+	open    map[uint64]*OrderState
+	scratch []byte
+
+	// Callbacks fire as exchange responses arrive. Nil callbacks are
+	// skipped.
+	OnLogon func()
+	OnAck   func(orderID uint64)
+	// OnExchangeID fires when a new-order ack links the client order to the
+	// exchange's own order id (the drop-copy linkage).
+	OnExchangeID   func(orderID, exchOrderID uint64)
+	OnFill         func(orderID uint64, qty market.Qty, price market.Price, done bool)
+	OnReject       func(orderID uint64, reason RejectReason)
+	OnCancelAck    func(orderID uint64)
+	OnCancelReject func(orderID uint64) // order already gone: cancel lost the race
+}
+
+// NewClientSession returns a session that transmits via send.
+func NewClientSession(send func([]byte)) *ClientSession {
+	return &ClientSession{send: send, open: make(map[uint64]*OrderState)}
+}
+
+// LoggedOn reports whether the logon handshake completed.
+func (c *ClientSession) LoggedOn() bool { return c.logged }
+
+// Open returns the number of working orders.
+func (c *ClientSession) Open() int { return len(c.open) }
+
+// Order returns the state of a working order.
+func (c *ClientSession) Order(id uint64) (OrderState, bool) {
+	st, ok := c.open[id]
+	if !ok {
+		return OrderState{}, false
+	}
+	return *st, true
+}
+
+func (c *ClientSession) emit(m *Msg) {
+	c.seqOut++
+	m.Seq = c.seqOut
+	c.scratch = Append(c.scratch[:0], m)
+	c.send(c.scratch)
+}
+
+// Logon starts the session handshake.
+func (c *ClientSession) Logon() { c.emit(&Msg{Kind: KindLogon}) }
+
+// NewOrder submits a limit order. It returns ErrNotLoggedOn before logon.
+func (c *ClientSession) NewOrder(id uint64, sym market.SymbolID, side market.Side, price market.Price, qty market.Qty) error {
+	if !c.logged {
+		return ErrNotLoggedOn
+	}
+	c.open[id] = &OrderState{Symbol: sym, Side: side, Price: price, Qty: qty}
+	c.emit(&Msg{Kind: KindNewOrder, OrderID: id, Symbol: sym, Side: side, Price: price, Qty: qty})
+	return nil
+}
+
+// Cancel requests cancellation of a working order.
+func (c *ClientSession) Cancel(id uint64) error {
+	if !c.logged {
+		return ErrNotLoggedOn
+	}
+	if st, ok := c.open[id]; ok {
+		st.CancelReq = true
+	}
+	c.emit(&Msg{Kind: KindCancelOrder, OrderID: id})
+	return nil
+}
+
+// Modify requests a price/size change on a working order. The local view
+// updates optimistically; a reject or cancel-reject corrects it.
+func (c *ClientSession) Modify(id uint64, price market.Price, qty market.Qty) error {
+	if !c.logged {
+		return ErrNotLoggedOn
+	}
+	st, ok := c.open[id]
+	if !ok {
+		return nil
+	}
+	st.Price, st.Qty = price, qty
+	st.Acked = false
+	c.emit(&Msg{Kind: KindModifyOrder, OrderID: id, Symbol: st.Symbol, Side: st.Side, Price: price, Qty: qty})
+	return nil
+}
+
+// Heartbeat sends a keepalive.
+func (c *ClientSession) Heartbeat() { c.emit(&Msg{Kind: KindHeartbeat}) }
+
+// Receive ingests stream bytes from the exchange.
+func (c *ClientSession) Receive(data []byte) error {
+	var seqErr error
+	err := c.framer.Feed(data, func(m *Msg) {
+		if m.Seq != c.seqIn+1 {
+			seqErr = ErrSeqGap
+			return
+		}
+		c.seqIn = m.Seq
+		c.handle(m)
+	})
+	if err != nil {
+		return err
+	}
+	return seqErr
+}
+
+func (c *ClientSession) handle(m *Msg) {
+	switch m.Kind {
+	case KindLogonAck:
+		c.logged = true
+		if c.OnLogon != nil {
+			c.OnLogon()
+		}
+	case KindOrderAck, KindModifyAck:
+		if st, ok := c.open[m.OrderID]; ok {
+			st.Acked = true
+			if m.Kind == KindOrderAck {
+				st.ExchID = m.ExchOrderID
+			}
+		}
+		if m.Kind == KindOrderAck && m.ExchOrderID != 0 && c.OnExchangeID != nil {
+			c.OnExchangeID(m.OrderID, m.ExchOrderID)
+		}
+		if c.OnAck != nil {
+			c.OnAck(m.OrderID)
+		}
+	case KindFill:
+		done := false
+		if st, ok := c.open[m.OrderID]; ok {
+			st.Filled += m.ExecQty
+			st.Qty -= m.ExecQty
+			if st.Qty <= 0 {
+				delete(c.open, m.OrderID)
+				done = true
+			}
+		}
+		if c.OnFill != nil {
+			c.OnFill(m.OrderID, m.ExecQty, m.ExecPrice, done)
+		}
+	case KindReject:
+		delete(c.open, m.OrderID)
+		if c.OnReject != nil {
+			c.OnReject(m.OrderID, m.Reason)
+		}
+	case KindCancelAck:
+		delete(c.open, m.OrderID)
+		if c.OnCancelAck != nil {
+			c.OnCancelAck(m.OrderID)
+		}
+	case KindCancelReject:
+		if c.OnCancelReject != nil {
+			c.OnCancelReject(m.OrderID)
+		}
+	}
+}
+
+// ExchangeSession is the exchange side of an order-entry connection: it
+// enforces logon, sequencing, and duplicate-ID rules, validates requests,
+// and hands accepted operations to the matching engine via callbacks. The
+// engine responds through Ack/Reject/Fill and friends.
+type ExchangeSession struct {
+	send    func([]byte)
+	framer  Framer
+	seqOut  uint32
+	seqIn   uint32
+	logged  bool
+	seenIDs map[uint64]bool
+	scratch []byte
+
+	// Validate, if set, screens accepted-form requests (unknown symbol,
+	// bad price, compliance) before they reach the engine. Return
+	// RejectNone to accept.
+	Validate func(*Msg) RejectReason
+
+	// Engine callbacks for accepted operations.
+	OnNew    func(*Msg)
+	OnCancel func(*Msg)
+	OnModify func(*Msg)
+}
+
+// NewExchangeSession returns an exchange-side session transmitting via send.
+func NewExchangeSession(send func([]byte)) *ExchangeSession {
+	return &ExchangeSession{send: send, seenIDs: make(map[uint64]bool)}
+}
+
+func (e *ExchangeSession) emit(m *Msg) {
+	e.seqOut++
+	m.Seq = e.seqOut
+	e.scratch = Append(e.scratch[:0], m)
+	e.send(e.scratch)
+}
+
+// Ack acknowledges a new order, echoing the exchange's own order id (zero
+// when the venue does not expose one).
+func (e *ExchangeSession) Ack(orderID, exchOrderID uint64) {
+	e.emit(&Msg{Kind: KindOrderAck, OrderID: orderID, ExchOrderID: exchOrderID})
+}
+
+// ModifyAck acknowledges a modify.
+func (e *ExchangeSession) ModifyAck(orderID uint64) {
+	e.emit(&Msg{Kind: KindModifyAck, OrderID: orderID})
+}
+
+// Reject refuses a request.
+func (e *ExchangeSession) Reject(orderID uint64, r RejectReason) {
+	e.emit(&Msg{Kind: KindReject, OrderID: orderID, Reason: r})
+}
+
+// Fill reports an execution.
+func (e *ExchangeSession) Fill(orderID uint64, qty market.Qty, price market.Price) {
+	e.emit(&Msg{Kind: KindFill, OrderID: orderID, ExecQty: qty, ExecPrice: price})
+}
+
+// CancelAck confirms a cancellation.
+func (e *ExchangeSession) CancelAck(orderID uint64) {
+	e.emit(&Msg{Kind: KindCancelAck, OrderID: orderID})
+}
+
+// CancelReject reports that a cancel lost the race to a fill.
+func (e *ExchangeSession) CancelReject(orderID uint64) {
+	e.emit(&Msg{Kind: KindCancelReject, OrderID: orderID})
+}
+
+// Receive ingests stream bytes from the client.
+func (e *ExchangeSession) Receive(data []byte) error {
+	var seqErr error
+	err := e.framer.Feed(data, func(m *Msg) {
+		if m.Seq != e.seqIn+1 {
+			seqErr = ErrSeqGap
+			return
+		}
+		e.seqIn = m.Seq
+		e.handle(m)
+	})
+	if err != nil {
+		return err
+	}
+	return seqErr
+}
+
+func (e *ExchangeSession) handle(m *Msg) {
+	switch m.Kind {
+	case KindLogon:
+		e.logged = true
+		e.emit(&Msg{Kind: KindLogonAck})
+	case KindHeartbeat:
+		// Keepalive only.
+	case KindNewOrder:
+		if !e.logged {
+			e.Reject(m.OrderID, RejectNotLoggedOn)
+			return
+		}
+		if e.seenIDs[m.OrderID] {
+			e.Reject(m.OrderID, RejectDuplicateID)
+			return
+		}
+		if e.Validate != nil {
+			if r := e.Validate(m); r != RejectNone {
+				e.Reject(m.OrderID, r)
+				return
+			}
+		}
+		e.seenIDs[m.OrderID] = true
+		if e.OnNew != nil {
+			e.OnNew(m)
+		}
+	case KindCancelOrder:
+		if !e.logged {
+			e.Reject(m.OrderID, RejectNotLoggedOn)
+			return
+		}
+		if e.OnCancel != nil {
+			e.OnCancel(m)
+		}
+	case KindModifyOrder:
+		if !e.logged {
+			e.Reject(m.OrderID, RejectNotLoggedOn)
+			return
+		}
+		if e.Validate != nil {
+			if r := e.Validate(m); r != RejectNone {
+				e.Reject(m.OrderID, r)
+				return
+			}
+		}
+		if e.OnModify != nil {
+			e.OnModify(m)
+		}
+	}
+}

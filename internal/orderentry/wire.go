@@ -1,0 +1,241 @@
+// Package orderentry implements a BOE-style binary order-entry protocol:
+// the stateful, sequenced message stream a trading firm runs over long-lived
+// TCP connections to an exchange (§2). It provides the message codec, a
+// stream framer that reassembles messages from arbitrary TCP segmentation,
+// and client/exchange session state machines, including the cancel-vs-fill
+// race the paper calls out.
+package orderentry
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"tradenet/internal/market"
+)
+
+// Kind identifies an order-entry message.
+type Kind uint8
+
+// Message kinds. Client→exchange kinds are low, exchange→client high.
+const (
+	KindLogon Kind = iota + 1
+	KindNewOrder
+	KindCancelOrder
+	KindModifyOrder
+	KindHeartbeat
+
+	KindLogonAck Kind = iota + 0x40
+	KindOrderAck
+	KindReject
+	KindFill
+	KindCancelAck
+	KindCancelReject // cancel arrived after the order was gone: the §2 race
+	KindModifyAck
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindLogon:
+		return "logon"
+	case KindNewOrder:
+		return "new"
+	case KindCancelOrder:
+		return "cancel"
+	case KindModifyOrder:
+		return "modify"
+	case KindHeartbeat:
+		return "heartbeat"
+	case KindLogonAck:
+		return "logon-ack"
+	case KindOrderAck:
+		return "ack"
+	case KindReject:
+		return "reject"
+	case KindFill:
+		return "fill"
+	case KindCancelAck:
+		return "cancel-ack"
+	case KindCancelReject:
+		return "cancel-reject"
+	case KindModifyAck:
+		return "modify-ack"
+	}
+	return "unknown"
+}
+
+// RejectReason codes carried by KindReject.
+type RejectReason uint8
+
+// Reject reasons (§2: "rejects for invalid requests, e.g. sending an order
+// with an invalid ticker").
+const (
+	RejectNone RejectReason = iota
+	RejectUnknownSymbol
+	RejectBadPrice
+	RejectBadQty
+	RejectNotLoggedOn
+	RejectDuplicateID
+	RejectWouldLockCross // compliance gate, §4.2
+)
+
+// Msg is the decoded form of any order-entry message.
+type Msg struct {
+	Kind    Kind
+	Seq     uint32 // per-session, per-direction sequence number
+	OrderID uint64 // client order id
+	Symbol  market.SymbolID
+	Side    market.Side
+	Price   market.Price
+	Qty     market.Qty
+	Reason  RejectReason
+	// ExecQty/ExecPrice carry fill details on KindFill.
+	ExecQty   market.Qty
+	ExecPrice market.Price
+	// ExchOrderID is the exchange's own identifier for the order, echoed on
+	// acks — the drop-copy linkage that lets a firm recognize its own
+	// orders on the public feed.
+	ExchOrderID uint64
+}
+
+// HeaderLen is the fixed message prefix: length (2), kind (1), seq (4).
+const HeaderLen = 7
+
+// bodyLen returns the encoded body size per kind.
+func bodyLen(k Kind) int {
+	switch k {
+	case KindLogon, KindLogonAck, KindHeartbeat:
+		return 0
+	case KindNewOrder, KindModifyOrder:
+		return 8 + 4 + 1 + 8 + 8 // oid, symbol, side, price, qty
+	case KindCancelOrder:
+		return 8
+	case KindOrderAck:
+		return 8 + 8 // oid, exchange order id
+	case KindCancelAck, KindModifyAck:
+		return 8
+	case KindReject, KindCancelReject:
+		return 8 + 1
+	case KindFill:
+		return 8 + 8 + 8 // oid, execQty, execPrice
+	}
+	return -1
+}
+
+// ErrShort reports a truncated or malformed message.
+var ErrShort = errors.New("orderentry: truncated message")
+
+// ErrUnknown reports an unrecognized message kind.
+var ErrUnknown = errors.New("orderentry: unknown message kind")
+
+// Append encodes m, appending to b.
+func Append(b []byte, m *Msg) []byte {
+	n := bodyLen(m.Kind)
+	if n < 0 {
+		panic("orderentry: cannot encode unknown kind")
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(HeaderLen+n))
+	b = append(b, byte(m.Kind))
+	b = binary.BigEndian.AppendUint32(b, m.Seq)
+	switch m.Kind {
+	case KindNewOrder, KindModifyOrder:
+		b = binary.BigEndian.AppendUint64(b, m.OrderID)
+		b = binary.BigEndian.AppendUint32(b, uint32(m.Symbol))
+		b = append(b, byte(m.Side))
+		b = binary.BigEndian.AppendUint64(b, uint64(m.Price))
+		b = binary.BigEndian.AppendUint64(b, uint64(m.Qty))
+	case KindOrderAck:
+		b = binary.BigEndian.AppendUint64(b, m.OrderID)
+		b = binary.BigEndian.AppendUint64(b, m.ExchOrderID)
+	case KindCancelOrder, KindCancelAck, KindModifyAck:
+		b = binary.BigEndian.AppendUint64(b, m.OrderID)
+	case KindReject, KindCancelReject:
+		b = binary.BigEndian.AppendUint64(b, m.OrderID)
+		b = append(b, byte(m.Reason))
+	case KindFill:
+		b = binary.BigEndian.AppendUint64(b, m.OrderID)
+		b = binary.BigEndian.AppendUint64(b, uint64(m.ExecQty))
+		b = binary.BigEndian.AppendUint64(b, uint64(m.ExecPrice))
+	}
+	return b
+}
+
+// Decode parses one message from the front of b into m, returning the rest.
+func Decode(b []byte, m *Msg) ([]byte, error) {
+	if len(b) < HeaderLen {
+		return nil, ErrShort
+	}
+	length := int(binary.BigEndian.Uint16(b))
+	if length < HeaderLen || length > len(b) {
+		return nil, ErrShort
+	}
+	k := Kind(b[2])
+	want := bodyLen(k)
+	if want < 0 {
+		return nil, ErrUnknown
+	}
+	if length != HeaderLen+want {
+		return nil, ErrShort
+	}
+	*m = Msg{Kind: k, Seq: binary.BigEndian.Uint32(b[3:])}
+	p := b[HeaderLen:length]
+	switch k {
+	case KindNewOrder, KindModifyOrder:
+		m.OrderID = binary.BigEndian.Uint64(p)
+		m.Symbol = market.SymbolID(binary.BigEndian.Uint32(p[8:]))
+		m.Side = market.Side(p[12])
+		m.Price = market.Price(binary.BigEndian.Uint64(p[13:]))
+		m.Qty = market.Qty(binary.BigEndian.Uint64(p[21:]))
+	case KindOrderAck:
+		m.OrderID = binary.BigEndian.Uint64(p)
+		m.ExchOrderID = binary.BigEndian.Uint64(p[8:])
+	case KindCancelOrder, KindCancelAck, KindModifyAck:
+		m.OrderID = binary.BigEndian.Uint64(p)
+	case KindReject, KindCancelReject:
+		m.OrderID = binary.BigEndian.Uint64(p)
+		m.Reason = RejectReason(p[8])
+	case KindFill:
+		m.OrderID = binary.BigEndian.Uint64(p)
+		m.ExecQty = market.Qty(binary.BigEndian.Uint64(p[8:]))
+		m.ExecPrice = market.Price(binary.BigEndian.Uint64(p[16:]))
+	}
+	return b[length:], nil
+}
+
+// Framer reassembles messages from a TCP byte stream delivered in arbitrary
+// segment boundaries.
+type Framer struct {
+	buf []byte
+}
+
+// Feed appends stream bytes and invokes fn for each complete message.
+// It returns a decode error on a malformed stream (the session should then
+// be torn down, as a real gateway would).
+func (f *Framer) Feed(data []byte, fn func(*Msg)) error {
+	f.buf = append(f.buf, data...)
+	var m Msg
+	for {
+		if len(f.buf) < HeaderLen {
+			return nil
+		}
+		length := int(binary.BigEndian.Uint16(f.buf))
+		if length < HeaderLen {
+			return ErrShort
+		}
+		if len(f.buf) < length {
+			return nil // wait for more bytes
+		}
+		rest, err := Decode(f.buf, &m)
+		if err != nil {
+			return err
+		}
+		fn(&m)
+		// Shift: copy is O(n) but messages are tiny and sessions drain
+		// promptly; keeping one buffer avoids per-message allocation.
+		n := copy(f.buf, rest)
+		f.buf = f.buf[:n]
+	}
+}
+
+// Buffered returns the number of undecoded bytes waiting in the framer.
+func (f *Framer) Buffered() int { return len(f.buf) }

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a unit of pending work: a callback to run at a given instant of
+// simulated time.
+type Event struct {
+	at   Time
+	prio int    // secondary ordering key for same-instant events
+	seq  uint64 // tertiary key: insertion order, guarantees determinism
+	fn   func()
+
+	index     int // heap index; -1 once popped or canceled
+	canceled  bool
+	scheduler *Scheduler
+}
+
+// Time returns the instant the event is scheduled for.
+func (e *Event) Time() Time { return e.at }
+
+// Cancel removes the event from the schedule. Canceling an event that has
+// already fired or been canceled is a no-op. Cancel is O(log n).
+func (e *Event) Cancel() {
+	if e == nil || e.canceled || e.index < 0 {
+		if e != nil {
+			e.canceled = true
+		}
+		return
+	}
+	e.canceled = true
+	heap.Remove(&e.scheduler.queue, e.index)
+	e.index = -1
+}
+
+// Canceled reports whether Cancel has been called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Priorities for same-instant event ordering. Lower runs first. These exist
+// so that, e.g., a frame arriving at a switch at exactly the same instant as
+// the switch's queue drain decision is processed in a deterministic,
+// physically sensible order.
+const (
+	PrioControl = -10 // clock sync, management-plane actions
+	PrioDeliver = 0   // default: packet deliveries, app callbacks
+	PrioDrain   = 10  // queue drains after same-instant arrivals
+	PrioReport  = 100 // metric flushes, end-of-window reporting
+)
+
+// eventQueue is a binary min-heap of events ordered by (time, prio, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.seq < b.seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler is a deterministic discrete-event executor. It is not safe for
+// concurrent use: the entire simulation runs on one goroutine, which is what
+// makes runs reproducible.
+type Scheduler struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	fired  uint64
+	rng    *rand.Rand
+	halted bool
+}
+
+// NewScheduler returns a scheduler at time zero whose random source is
+// seeded with seed. All stochastic model components must draw from Rand()
+// so that a run is fully determined by its seed.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Rand returns the scheduler's deterministic random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Fired returns the number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events currently scheduled.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at instant t with default priority. Scheduling in
+// the past panics: it always indicates a model bug, and silently reordering
+// time would invalidate every latency measurement downstream.
+func (s *Scheduler) At(t Time, fn func()) *Event {
+	return s.AtPrio(t, PrioDeliver, fn)
+}
+
+// AtPrio schedules fn at instant t with an explicit same-instant priority.
+func (s *Scheduler) AtPrio(t Time, prio int, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v, before now %v", t, s.now))
+	}
+	e := &Event{at: t, prio: prio, seq: s.seq, fn: fn, scheduler: s}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current instant.
+func (s *Scheduler) After(d Duration, fn func()) *Event {
+	return s.At(s.now.Add(d), fn)
+}
+
+// AfterPrio schedules fn to run d after the current instant with priority.
+func (s *Scheduler) AfterPrio(d Duration, prio int, fn func()) *Event {
+	return s.AtPrio(s.now.Add(d), prio, fn)
+}
+
+// Every schedules fn at start and then every period thereafter, until the
+// returned cancel function is called or the run ends.
+func (s *Scheduler) Every(start Time, period Duration, fn func()) (cancel func()) {
+	if period <= 0 {
+		panic("sim: Every requires a positive period")
+	}
+	stopped := false
+	var tick func()
+	var pending *Event
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			pending = s.AtPrio(s.now.Add(period), PrioReport, tick)
+		}
+	}
+	pending = s.AtPrio(start, PrioReport, tick)
+	return func() {
+		stopped = true
+		pending.Cancel()
+	}
+}
+
+// Halt stops the run: Run and RunUntil return after the current event's
+// callback completes.
+func (s *Scheduler) Halt() { s.halted = true }
+
+// step executes the earliest pending event. It reports false when the queue
+// is empty.
+func (s *Scheduler) step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		if e.at < s.now {
+			panic("sim: event queue time went backwards")
+		}
+		s.now = e.at
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Halt is called. It returns
+// the final simulated time.
+func (s *Scheduler) Run() Time {
+	s.halted = false
+	for !s.halted && s.step() {
+	}
+	return s.now
+}
+
+// RunUntil executes events with time ≤ deadline, then advances the clock to
+// exactly deadline (even if no event lands there) and returns. Events
+// scheduled after deadline remain pending.
+func (s *Scheduler) RunUntil(deadline Time) Time {
+	s.halted = false
+	for !s.halted {
+		if len(s.queue) == 0 {
+			break
+		}
+		// Peek: queue[0] is the heap minimum.
+		if s.queue[0].at > deadline {
+			break
+		}
+		s.step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return s.now
+}

@@ -1,0 +1,100 @@
+// Package topo builds the paper's three network designs out of the device
+// models: the leaf-spine fabric of commodity switches (Design 1, §4.1), the
+// latency-equalized cloud (Design 2, §4.2), and the four-network Layer-1
+// fabric (Design 3, §4.3). It also provides the routing machinery: a
+// shortest-path graph used to verify hop counts, static FIB programming,
+// and multicast tree installation.
+package topo
+
+import "container/heap"
+
+// Graph is a small undirected weighted graph for path analysis: nodes are
+// switch/host names, edge weights are hop costs or latencies.
+type Graph struct {
+	adj map[string]map[string]int64
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{adj: make(map[string]map[string]int64)} }
+
+// AddEdge adds an undirected edge with the given weight, creating nodes as
+// needed. Re-adding an edge keeps the smaller weight.
+func (g *Graph) AddEdge(a, b string, w int64) {
+	if g.adj[a] == nil {
+		g.adj[a] = make(map[string]int64)
+	}
+	if g.adj[b] == nil {
+		g.adj[b] = make(map[string]int64)
+	}
+	if old, ok := g.adj[a][b]; !ok || w < old {
+		g.adj[a][b] = w
+		g.adj[b][a] = w
+	}
+}
+
+// Nodes returns the number of nodes.
+func (g *Graph) Nodes() int { return len(g.adj) }
+
+type pqItem struct {
+	node string
+	dist int64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int           { return len(p) }
+func (p pq) Less(i, j int) bool { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() any          { old := *p; it := old[len(old)-1]; *p = old[:len(old)-1]; return it }
+
+// ShortestPath returns the minimum-weight path from a to b and its total
+// weight, or nil if unreachable.
+func (g *Graph) ShortestPath(a, b string) ([]string, int64) {
+	if g.adj[a] == nil || g.adj[b] == nil {
+		return nil, 0
+	}
+	dist := map[string]int64{a: 0}
+	prev := map[string]string{}
+	done := map[string]bool{}
+	q := &pq{{a, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		if it.node == b {
+			break
+		}
+		for nb, w := range g.adj[it.node] {
+			nd := it.dist + w
+			if d, ok := dist[nb]; !ok || nd < d {
+				dist[nb] = nd
+				prev[nb] = it.node
+				heap.Push(q, pqItem{nb, nd})
+			}
+		}
+	}
+	if !done[b] {
+		return nil, 0
+	}
+	var path []string
+	for n := b; ; n = prev[n] {
+		path = append([]string{n}, path...)
+		if n == a {
+			break
+		}
+	}
+	return path, dist[b]
+}
+
+// Hops returns the number of edges on the shortest path from a to b, or -1
+// if unreachable.
+func (g *Graph) Hops(a, b string) int {
+	path, _ := g.ShortestPath(a, b)
+	if path == nil {
+		return -1
+	}
+	return len(path) - 1
+}

@@ -1,0 +1,256 @@
+package topo
+
+import (
+	"fmt"
+
+	"tradenet/internal/device"
+	"tradenet/internal/netsim"
+	"tradenet/internal/pkt"
+	"tradenet/internal/sim"
+	"tradenet/internal/units"
+)
+
+// LeafSpineConfig parameterizes Design 1.
+type LeafSpineConfig struct {
+	Spines       int
+	Racks        int
+	HostsPerRack int
+	// Switch is the hardware profile for every leaf and spine.
+	Switch device.CommoditySwitchConfig
+	// LinkRate is the fabric link speed.
+	LinkRate units.Bandwidth
+	// CableDelay is per-link propagation (in-cage copper/fiber runs).
+	CableDelay sim.Duration
+}
+
+// DefaultLeafSpineConfig sizes a fabric for the paper's ~1,000-server
+// scenario: 32 racks of 32 hosts behind 4 spines.
+func DefaultLeafSpineConfig() LeafSpineConfig {
+	return LeafSpineConfig{
+		Spines:       4,
+		Racks:        32,
+		HostsPerRack: 32,
+		Switch:       device.DefaultCommodityConfig(),
+		LinkRate:     units.Rate10G,
+		CableDelay:   25 * sim.Nanosecond, // ~5 m of fiber
+	}
+}
+
+// LeafSpine is a two-tier Clos of commodity switches, with one leaf
+// dedicated to exchange connectivity ("we will dedicate one ToR to connect
+// to the exchanges, so every host on the network is equidistant from the
+// exchange", §4.1). Leaf port layout: ports [0, Spines) are uplinks (port s
+// to spine s); host ports follow. Spine port layout: port r connects leaf r.
+type LeafSpine struct {
+	cfg    LeafSpineConfig
+	sched  *sim.Scheduler
+	Spines []*device.CommoditySwitch
+	// Leaves[0] is the exchange leaf; racks are Leaves[1..Racks].
+	Leaves []*device.CommoditySwitch
+
+	hostLeaf         map[pkt.MAC]int           // leaf index per attached host
+	hostPort         map[pkt.MAC]int           // leaf port per attached host
+	nextPort         []int                     // next free host port per leaf
+	groupLeafMembers map[pkt.IP4]map[int][]int // group → leaf → member ports
+
+	// Graph mirrors the wiring for hop analysis.
+	Graph *Graph
+}
+
+// NewLeafSpine builds the fabric: every leaf connects to every spine.
+func NewLeafSpine(sched *sim.Scheduler, cfg LeafSpineConfig) *LeafSpine {
+	t := &LeafSpine{
+		cfg:              cfg,
+		sched:            sched,
+		hostLeaf:         make(map[pkt.MAC]int),
+		hostPort:         make(map[pkt.MAC]int),
+		groupLeafMembers: make(map[pkt.IP4]map[int][]int),
+		Graph:            NewGraph(),
+	}
+	nLeaves := cfg.Racks + 1
+	for s := 0; s < cfg.Spines; s++ {
+		t.Spines = append(t.Spines, device.NewCommoditySwitch(sched, fmt.Sprintf("spine%d", s), nLeaves, cfg.Switch))
+	}
+	for l := 0; l < nLeaves; l++ {
+		name := fmt.Sprintf("leaf%d", l)
+		if l == 0 {
+			name = "exleaf"
+		}
+		leaf := device.NewCommoditySwitch(sched, name, cfg.Spines+cfg.HostsPerRack+8, cfg.Switch)
+		t.Leaves = append(t.Leaves, leaf)
+		t.nextPort = append(t.nextPort, cfg.Spines)
+		for s := 0; s < cfg.Spines; s++ {
+			netsim.Connect(leaf.Port(s), t.Spines[s].Port(l), cfg.LinkRate, cfg.CableDelay)
+			t.Graph.AddEdge(name, fmt.Sprintf("spine%d", s), 1)
+		}
+	}
+	return t
+}
+
+// Config returns the fabric configuration.
+func (t *LeafSpine) Config() LeafSpineConfig { return t.cfg }
+
+// spineFor picks the (deterministic) spine carrying traffic to dst —
+// per-destination ECMP.
+func (t *LeafSpine) spineFor(mac pkt.MAC) int {
+	return int(mac[5]) % t.cfg.Spines
+}
+
+// spineForGroup pins each multicast group to one spine, as a PIM RP
+// placement would.
+func (t *LeafSpine) spineForGroup(g pkt.IP4) int {
+	return int(g[3]) % t.cfg.Spines
+}
+
+// Attach wires nic into the given leaf (0 = exchange leaf) and programs
+// unicast reachability fabric-wide. It returns the leaf port used.
+func (t *LeafSpine) Attach(leaf int, nic *netsim.NIC) int {
+	lf := t.Leaves[leaf]
+	port := t.nextPort[leaf]
+	t.nextPort[leaf]++
+	netsim.Connect(lf.Port(port), nic.Port, t.cfg.LinkRate, t.cfg.CableDelay)
+	t.Graph.AddEdge(lf.Name, nic.Port.Name, 1)
+
+	mac := nic.MAC
+	t.hostLeaf[mac] = leaf
+	t.hostPort[mac] = port
+	// Local leaf: direct port.
+	lf.Learn(mac, port)
+	// Spines: down to this leaf.
+	for s := 0; s < t.cfg.Spines; s++ {
+		t.Spines[s].Learn(mac, leaf)
+	}
+	// Other leaves: up the ECMP spine for this MAC.
+	up := t.spineFor(mac)
+	for l, other := range t.Leaves {
+		if l == leaf {
+			continue
+		}
+		other.Learn(mac, up)
+	}
+	return port
+}
+
+// Join subscribes an attached NIC to a multicast group, installing the
+// distribution tree: member ports on its leaf, the group's spine carrying
+// it between leaves. It returns false if any switch's mroute table had to
+// fall back to software for this group.
+func (t *LeafSpine) Join(group pkt.IP4, nic *netsim.NIC) bool {
+	leaf, ok := t.hostLeaf[nic.MAC]
+	if !ok {
+		panic("topo: Join before Attach")
+	}
+	nic.Join(group)
+	port := t.hostPort[nic.MAC]
+
+	members := t.groupLeafMembers[group]
+	if members == nil {
+		members = make(map[int][]int)
+		t.groupLeafMembers[group] = members
+	}
+	members[leaf] = append(members[leaf], port)
+
+	return t.installGroup(group)
+}
+
+// Leave unsubscribes a NIC from a group, pruning the tree: the member port
+// leaves the leaf's delivery set, and a leaf with no members left loses its
+// spine branch. The leaf's own table entry persists (its uplink port stays,
+// so local sources can still inject), which means Leave does not shrink
+// leaf table occupancy — matching how mroute state behaves in practice.
+func (t *LeafSpine) Leave(group pkt.IP4, nic *netsim.NIC) {
+	leaf, ok := t.hostLeaf[nic.MAC]
+	if !ok {
+		return
+	}
+	nic.Leave(group)
+	port := t.hostPort[nic.MAC]
+	members := t.groupLeafMembers[group]
+	if members == nil {
+		return
+	}
+	lst := members[leaf]
+	for i, p := range lst {
+		if p == port {
+			members[leaf] = append(lst[:i], lst[i+1:]...)
+			break
+		}
+	}
+	if len(members[leaf]) == 0 {
+		delete(members, leaf)
+	}
+	t.pruneGroup(group, leaf, port)
+}
+
+// pruneGroup removes the member port from the leaf's delivery set and, if
+// the leaf has no members left, drops the spine's branch toward it.
+func (t *LeafSpine) pruneGroup(group pkt.IP4, leaf, port int) {
+	t.Leaves[leaf].LeaveGroup(group, port)
+	if len(t.groupLeafMembers[group][leaf]) == 0 {
+		t.Spines[t.spineForGroup(group)].LeaveGroup(group, leaf)
+	}
+}
+
+// installGroup (re)installs the group's tree on every switch touched. The
+// tree: every leaf forwards to its member ports plus the uplink to the
+// group's spine (so any leaf can source); the spine forwards to every leaf
+// with members.
+func (t *LeafSpine) installGroup(group pkt.IP4) bool {
+	spine := t.spineForGroup(group)
+	members := t.groupLeafMembers[group]
+	inHW := true
+	for l, leaf := range t.Leaves {
+		for _, p := range members[l] {
+			if !leaf.JoinGroup(group, p) {
+				inHW = false
+			}
+		}
+		// Uplink so locally sourced frames reach the fabric.
+		if !leaf.JoinGroup(group, spine) {
+			inHW = false
+		}
+	}
+	for l := range members {
+		if !t.Spines[spine].JoinGroup(group, l) {
+			inHW = false
+		}
+	}
+	return inHW
+}
+
+// ExchangeLeaf returns the dedicated exchange leaf.
+func (t *LeafSpine) ExchangeLeaf() *device.CommoditySwitch { return t.Leaves[0] }
+
+// SwitchHops returns the number of switches on the unicast path between two
+// attached NICs — the §4.1 accounting unit (3 per host-to-host leg when
+// hosts share no rack: leaf, spine, leaf).
+func (t *LeafSpine) SwitchHops(a, b *netsim.NIC) int {
+	la, ok1 := t.hostLeaf[a.MAC]
+	lb, ok2 := t.hostLeaf[b.MAC]
+	if !ok1 || !ok2 {
+		return -1
+	}
+	if la == lb {
+		return 1
+	}
+	return 3
+}
+
+// TotalMrouteHardware sums hardware-installed groups across all switches.
+func (t *LeafSpine) TotalMrouteHardware() int {
+	n := 0
+	for _, sw := range append(append([]*device.CommoditySwitch{}, t.Leaves...), t.Spines...) {
+		n += sw.HardwareGroups()
+	}
+	return n
+}
+
+// AnySoftwareFallback reports whether any switch has overflowed groups.
+func (t *LeafSpine) AnySoftwareFallback() bool {
+	for _, sw := range append(append([]*device.CommoditySwitch{}, t.Leaves...), t.Spines...) {
+		if sw.SoftwareGroups() > 0 {
+			return true
+		}
+	}
+	return false
+}

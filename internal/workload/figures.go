@@ -1,0 +1,238 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"tradenet/internal/metrics"
+	"tradenet/internal/sim"
+)
+
+// Trading session bounds used throughout: options on the Fig. 2(b) stock
+// "trade from 9:30am to 4:00pm, with little to no activity outside this
+// range".
+const (
+	SessionOpenHour  = 9.5  // 9:30 ET as fractional hours
+	SessionCloseHour = 16.0 // 16:00 ET
+	SessionSeconds   = int((SessionCloseHour - SessionOpenHour) * 3600)
+)
+
+// IntradayShape returns the relative activity multiplier at fraction
+// x ∈ [0,1] through the trading session. It is a classic U-shape: an
+// opening-auction spike decaying over the first ~30 minutes, a quiet
+// midday, and a closing ramp. Normalized so the midday trough is ~1.
+func IntradayShape(x float64) float64 {
+	if x < 0 || x > 1 {
+		return 0
+	}
+	open := 2.4 * math.Exp(-x/0.07)
+	close := 1.8 * math.Exp(-(1-x)/0.05)
+	return 1 + open + close
+}
+
+// Fig2bConfig parameterizes the single-stock single-day generator.
+type Fig2bConfig struct {
+	// MedianPerSecond is the target median 1-second event count within the
+	// session. The paper reports "over 300k".
+	MedianPerSecond float64
+	// Sigma is the per-second lognormal variability.
+	Sigma float64
+	// NewsBursts is the number of news-driven burst spells injected into
+	// the day (§2: bursts are driven by underlying market conditions, e.g.
+	// a regulation announcement).
+	NewsBursts int
+	// BurstBoost is the multiplier applied at a burst's peak.
+	BurstBoost float64
+	// BurstDuration is each burst's length in seconds.
+	BurstDuration int
+}
+
+// DefaultFig2b reproduces the paper's reported statistics: median second
+// >300k BBO-affecting events, busiest second ≈1.5M.
+func DefaultFig2b() Fig2bConfig {
+	return Fig2bConfig{
+		MedianPerSecond: 315_000,
+		Sigma:           0.18,
+		NewsBursts:      3,
+		BurstBoost:      3.4,
+		BurstDuration:   20,
+	}
+}
+
+// Fig2bDay generates one trading day of 1-second event counts for a single
+// stock's BBO-affecting options events, as a WindowSeries covering 24 hours
+// starting at midnight. Counts outside the session are (near-)zero.
+func Fig2bDay(rng *rand.Rand, cfg Fig2bConfig) *metrics.WindowSeries {
+	day := metrics.NewWindowSeries(0, sim.Second, 24*3600)
+	openSec := int(SessionOpenHour * 3600)
+
+	// Draw the shape's session median once so MedianPerSecond calibrates
+	// the output median rather than the trough.
+	shapeMedian := shapeSessionMedian()
+	base := cfg.MedianPerSecond / shapeMedian
+
+	// Place news bursts uniformly inside the session, away from the edges
+	// where the U-shape already dominates.
+	type burst struct{ start, dur int }
+	bursts := make([]burst, cfg.NewsBursts)
+	for i := range bursts {
+		bursts[i] = burst{
+			start: int(float64(SessionSeconds) * (0.15 + 0.7*rng.Float64())),
+			dur:   cfg.BurstDuration,
+		}
+	}
+
+	for s := 0; s < SessionSeconds; s++ {
+		x := float64(s) / float64(SessionSeconds)
+		rate := base * IntradayShape(x)
+		for _, bu := range bursts {
+			if s >= bu.start && s < bu.start+bu.dur {
+				// Triangular burst profile peaking mid-spell.
+				frac := float64(s-bu.start) / float64(bu.dur)
+				peak := 1 - math.Abs(2*frac-1)
+				rate *= 1 + (cfg.BurstBoost-1)*peak
+			}
+		}
+		count := int64(rate * LogNormal(rng, cfg.Sigma))
+		day.RecordN(sim.Time(openSec+s)*sim.Time(sim.Second), count)
+	}
+	// Pre-open and post-close trickle: "little to no activity".
+	for s := openSec - 300; s < openSec; s++ {
+		day.RecordN(sim.Time(s)*sim.Time(sim.Second), int64(rng.Intn(50)))
+	}
+	return day
+}
+
+func shapeSessionMedian() float64 {
+	vals := make([]float64, SessionSeconds)
+	for s := range vals {
+		vals[s] = IntradayShape(float64(s) / float64(SessionSeconds))
+	}
+	// Median via partial sort-free selection is unnecessary here; this runs
+	// once per day generation.
+	return medianFloat(vals)
+}
+
+func medianFloat(v []float64) float64 {
+	c := append([]float64(nil), v...)
+	sort.Float64s(c)
+	return c[len(c)/2]
+}
+
+// Fig2cConfig parameterizes the busiest-second microburst generator.
+type Fig2cConfig struct {
+	// TotalEvents is the event count of the busiest second (paper: ≈1.5M).
+	TotalEvents int
+	// BurstRateFactor is the burst state's rate multiple of the quiet
+	// state's.
+	BurstRateFactor float64
+	// BurstTimeShare is the fraction of the second spent in the burst
+	// state.
+	BurstTimeShare float64
+}
+
+// DefaultFig2c reproduces the paper's busiest-second statistics: across
+// 100 µs windows, median ≈129 events and busiest ≈1066.
+func DefaultFig2c() Fig2cConfig {
+	return Fig2cConfig{
+		TotalEvents:     1_500_000,
+		BurstRateFactor: 8.3, // 1066/129 ≈ 8.3
+		BurstTimeShare:  0.022,
+	}
+}
+
+// Process returns the two-state MMPP realizing the configuration.
+func (cfg Fig2cConfig) Process() *MMPP {
+	total := float64(cfg.TotalEvents)
+	// total = quietRate*(1-share) + quietRate*factor*share
+	quietRate := total / (1 - cfg.BurstTimeShare + cfg.BurstRateFactor*cfg.BurstTimeShare)
+	burstRate := quietRate * cfg.BurstRateFactor
+	// Dwell times: bursts last ~2 ms (tens of 100 µs windows), matching the
+	// clumpy structure visible in the paper's scatter.
+	burstDwell := 2 * sim.Millisecond
+	quietDwell := sim.Duration(float64(burstDwell) * (1 - cfg.BurstTimeShare) / cfg.BurstTimeShare)
+	return NewMMPP(
+		MMPPState{Rate: quietRate, MeanDwell: quietDwell},
+		MMPPState{Rate: burstRate, MeanDwell: burstDwell},
+	)
+}
+
+// Fig2cSecond generates event arrival instants across one second and
+// aggregates them into 100 µs windows (10,000 windows). The individual
+// arrival times are also passed to fn if non-nil, so network experiments
+// can replay the microburst through a switch or merge unit.
+func Fig2cSecond(rng *rand.Rand, cfg Fig2cConfig, fn func(sim.Time)) *metrics.WindowSeries {
+	w := metrics.NewWindowSeries(0, 100*sim.Microsecond, 10_000)
+	p := cfg.Process()
+	Times(rng, p, 0, sim.Time(sim.Second), func(t sim.Time) {
+		w.Record(t)
+		if fn != nil {
+			fn(t)
+		}
+	})
+	return w
+}
+
+// DayVolume is one trading day's total event count for Fig. 2(a).
+type DayVolume struct {
+	Day   int // trading-day index from the series start
+	Count float64
+}
+
+// Fig2aConfig parameterizes the multi-year growth series.
+type Fig2aConfig struct {
+	Years       int
+	DaysPerYear int
+	// StartDaily is the average daily event count at the series start.
+	StartDaily float64
+	// TotalGrowth is the end/start ratio (paper: "market data has increased
+	// 500% over the last 5 years" ⇒ 6x).
+	TotalGrowth float64
+	// Sigma is day-to-day lognormal variability (the paper notes arrival
+	// rates are variable even at the granularity of individual days).
+	Sigma float64
+}
+
+// DefaultFig2a matches the paper's Figure 2(a): five years ending at
+// tens of billions of events per day for US options + equities.
+func DefaultFig2a() Fig2aConfig {
+	return Fig2aConfig{
+		Years:       5,
+		DaysPerYear: 252,
+		StartDaily:  2.0e10,
+		TotalGrowth: 6.0,
+		Sigma:       0.22,
+	}
+}
+
+// Fig2aSeries generates the daily event-count series.
+func Fig2aSeries(rng *rand.Rand, cfg Fig2aConfig) []DayVolume {
+	n := cfg.Years * cfg.DaysPerYear
+	out := make([]DayVolume, n)
+	for d := 0; d < n; d++ {
+		frac := float64(d) / float64(n-1)
+		trend := cfg.StartDaily * math.Pow(cfg.TotalGrowth, frac)
+		out[d] = DayVolume{Day: d, Count: trend * LogNormal(rng, cfg.Sigma)}
+	}
+	return out
+}
+
+// AvgRatePerSecond converts a daily volume into an average per-second rate
+// over a 24-hour day — the paper's arithmetic: "tens of billions of events
+// per day, which works out to an average rate of more than 500k events per
+// second" (5×10¹⁰ / 86400 ≈ 580k).
+func AvgRatePerSecond(daily float64) float64 {
+	return daily / (24 * 3600)
+}
+
+// PerEventBudget returns the per-event processing budget for a component
+// that must keep up with count events arriving uniformly across window.
+// The paper's §3 examples: 1.5M events in 1 s ⇒ ~650 ns; 1066 events in
+// 100 µs ⇒ ~100 ns.
+func PerEventBudget(count int64, window sim.Duration) sim.Duration {
+	if count <= 0 {
+		return sim.Duration(math.MaxInt64)
+	}
+	return window / sim.Duration(count)
+}

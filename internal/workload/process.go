@@ -1,0 +1,156 @@
+// Package workload generates market-data arrival patterns calibrated to the
+// paper's Figure 2: multi-year daily growth (2a), the intraday U-shape of a
+// single stock's options activity in 1-second windows (2b), and the
+// sub-second burst structure of the busiest second in 100-microsecond
+// windows (2c).
+//
+// Two tiers coexist. Event-time processes (Poisson, MMPP) emit individual
+// arrival instants and drive packets through the simulated network; they are
+// usable for the milliseconds-to-seconds horizons of the network
+// experiments. Count-level generators produce per-window totals directly and
+// cover horizons (years of trading days, billions of events) where per-event
+// generation is infeasible.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"tradenet/internal/sim"
+)
+
+// Process generates successive inter-arrival durations. Implementations
+// draw only from the supplied rng so runs are reproducible.
+type Process interface {
+	// Next returns the time until the next arrival.
+	Next(rng *rand.Rand) sim.Duration
+}
+
+// Poisson is a homogeneous Poisson process.
+type Poisson struct {
+	// Rate is the intensity in events per second. Must be positive.
+	Rate float64
+}
+
+// Next returns an exponentially distributed inter-arrival time.
+func (p Poisson) Next(rng *rand.Rand) sim.Duration {
+	if p.Rate <= 0 {
+		panic("workload: Poisson rate must be positive")
+	}
+	sec := rng.ExpFloat64() / p.Rate
+	return sim.Duration(sec * float64(sim.Second))
+}
+
+// MMPPState is one regime of a Markov-modulated Poisson process.
+type MMPPState struct {
+	// Rate is the arrival intensity in events per second while in this
+	// state.
+	Rate float64
+	// MeanDwell is the mean (exponential) time the process stays in this
+	// state before transitioning.
+	MeanDwell sim.Duration
+}
+
+// MMPP is a Markov-modulated Poisson process: arrivals are Poisson at a
+// rate that switches between states with exponential dwell times. States
+// rotate in order (state 0 → 1 → … → 0), which for the common two-state
+// quiet/burst configuration is the full generality needed.
+//
+// Market data is "bursty ... burst rates over smaller timescales that are at
+// least an order of magnitude larger" than the average (§3); a two-state
+// MMPP with a ~10x burst state reproduces exactly that structure.
+type MMPP struct {
+	States []MMPPState
+
+	state     int
+	dwellLeft sim.Duration
+	primed    bool
+}
+
+// NewMMPP returns an MMPP over the given states, starting in state 0.
+func NewMMPP(states ...MMPPState) *MMPP {
+	if len(states) == 0 {
+		panic("workload: MMPP needs at least one state")
+	}
+	for _, s := range states {
+		if s.Rate <= 0 || s.MeanDwell <= 0 {
+			panic("workload: MMPP states need positive rate and dwell")
+		}
+	}
+	return &MMPP{States: append([]MMPPState(nil), states...)}
+}
+
+// State returns the index of the current regime.
+func (m *MMPP) State() int { return m.state }
+
+func expDur(rng *rand.Rand, mean sim.Duration) sim.Duration {
+	d := sim.Duration(rng.ExpFloat64() * float64(mean))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Next returns the time until the next arrival, advancing regime state as
+// dwell periods expire.
+func (m *MMPP) Next(rng *rand.Rand) sim.Duration {
+	if !m.primed {
+		m.dwellLeft = expDur(rng, m.States[m.state].MeanDwell)
+		m.primed = true
+	}
+	var elapsed sim.Duration
+	for {
+		gap := sim.Duration(rng.ExpFloat64() / m.States[m.state].Rate * float64(sim.Second))
+		if gap < 1 {
+			gap = 1
+		}
+		if gap <= m.dwellLeft {
+			m.dwellLeft -= gap
+			return elapsed + gap
+		}
+		// Dwell expired before the arrival: advance to the next state and
+		// redraw from its rate.
+		elapsed += m.dwellLeft
+		m.state = (m.state + 1) % len(m.States)
+		m.dwellLeft = expDur(rng, m.States[m.state].MeanDwell)
+	}
+}
+
+// Generate schedules arrivals from p on sched, invoking fn at each arrival,
+// from start until end. It returns the number of arrivals scheduled over
+// the whole span (events are scheduled lazily, one ahead, so memory stays
+// O(1) regardless of rate).
+func Generate(sched *sim.Scheduler, p Process, start, end sim.Time, fn func()) {
+	var step func()
+	next := start.Add(p.Next(sched.Rand()))
+	step = func() {
+		fn()
+		n := sched.Now().Add(p.Next(sched.Rand()))
+		if n.Before(end) {
+			sched.At(n, step)
+		}
+	}
+	if next.Before(end) {
+		sched.At(next, step)
+	}
+}
+
+// Times materializes arrival instants from p in [start, end) using rng,
+// without a scheduler. Useful for the count-level figure generators.
+func Times(rng *rand.Rand, p Process, start, end sim.Time, fn func(sim.Time)) int {
+	n := 0
+	t := start.Add(p.Next(rng))
+	for t.Before(end) {
+		fn(t)
+		n++
+		t = t.Add(p.Next(rng))
+	}
+	return n
+}
+
+// LogNormal draws a lognormal multiplier with median 1 and the given sigma
+// (of the underlying normal). Used for day-to-day and second-to-second
+// variability around trend rates.
+func LogNormal(rng *rand.Rand, sigma float64) float64 {
+	return math.Exp(rng.NormFloat64() * sigma)
+}
