@@ -62,24 +62,30 @@ func BenchmarkFig2cBusySecond(b *testing.B) {
 // 12 switch hops, network ≈ half the total.
 func BenchmarkDesign1RoundTrip(b *testing.B) {
 	var rt core.RoundTrip
+	var fired uint64
 	for i := 0; i < b.N; i++ {
 		d := core.NewDesign1(core.SmallScenario(), device.DefaultCommodityConfig())
 		rt = d.MeasureRoundTrip(4)
+		fired += d.Sched.Fired()
 	}
 	b.ReportMetric(rt.Mean().Microseconds(), "tick-to-trade-µs")
 	b.ReportMetric(rt.NetworkShare()*100, "network-share-pct")
+	b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "events/s")
 }
 
 // BenchmarkDesign3RoundTrip (E6) measures the §4.3 L1S round trip: network
 // latency roughly two orders of magnitude below commodity switching.
 func BenchmarkDesign3RoundTrip(b *testing.B) {
 	var rt core.RoundTrip
+	var fired uint64
 	for i := 0; i < b.N; i++ {
 		d := core.NewDesign3(core.SmallScenario(), 0)
 		rt = d.MeasureRoundTrip(4)
+		fired += d.Sched.Fired()
 	}
 	b.ReportMetric(rt.Mean().Microseconds(), "tick-to-trade-µs")
 	b.ReportMetric(rt.NetworkTime().Nanoseconds(), "network-ns")
+	b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "events/s")
 }
 
 // BenchmarkDesign2CloudRoundTrip (E12) measures the equalized cloud: fair
@@ -87,14 +93,17 @@ func BenchmarkDesign3RoundTrip(b *testing.B) {
 func BenchmarkDesign2CloudRoundTrip(b *testing.B) {
 	var rt core.RoundTrip
 	var skew sim.Duration
+	var fired uint64
 	for i := 0; i < b.N; i++ {
 		lats := []sim.Duration{5 * sim.Microsecond, 20 * sim.Microsecond, 12 * sim.Microsecond}
 		d := core.NewDesign2(core.SmallScenario(), lats, true)
 		rt = d.MeasureRoundTrip(4)
 		skew, _ = d.SkewStats()
+		fired += d.Sched.Fired()
 	}
 	b.ReportMetric(rt.Mean().Microseconds(), "tick-to-trade-µs")
 	b.ReportMetric(skew.Nanoseconds(), "delivery-skew-ns")
+	b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "events/s")
 }
 
 // BenchmarkCloudEqualization (E12b) contrasts equalized and raw cloud

@@ -53,6 +53,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		frames     = flag.Int("frames", 200_000, "frames for table1/overhead")
 		bursts     = flag.Int("bursts", 4, "measurement bursts for design round trips")
+		reps       = flag.Int("replications", 1, "independent seeds per experiment (seed, seed+1, ...), fanned across CPUs; applies to designs and mroute")
 		csvDir     = flag.String("csv", "", "also write Figure 2 data series as CSV into this directory")
 	)
 	flag.Parse()
@@ -75,12 +76,24 @@ func main() {
 	}
 
 	runners := map[string]func(){
-		"table1":      func() { fmt.Println(core.RunTable1(*frames, *seed)) },
-		"fig2a":       func() { fmt.Println(core.RunFig2a(*seed)) },
-		"fig2b":       func() { fmt.Println(core.RunFig2b(*seed)) },
-		"fig2c":       func() { fmt.Println(core.RunFig2c(*seed)) },
-		"designs":     func() { fmt.Println(core.RunDesignComparison(sc, *bursts)) },
-		"mroute":      func() { fmt.Println(core.RunMrouteOverflow(40, 20, 60, *seed)) },
+		"table1": func() { fmt.Println(core.RunTable1(*frames, *seed)) },
+		"fig2a":  func() { fmt.Println(core.RunFig2a(*seed)) },
+		"fig2b":  func() { fmt.Println(core.RunFig2b(*seed)) },
+		"fig2c":  func() { fmt.Println(core.RunFig2c(*seed)) },
+		"designs": func() {
+			if *reps > 1 {
+				fmt.Println(core.RunDesignComparisonSeeds(sc, *bursts, core.Seeds(*seed, *reps)))
+				return
+			}
+			fmt.Println(core.RunDesignComparison(sc, *bursts))
+		},
+		"mroute": func() {
+			if *reps > 1 {
+				fmt.Println(core.RunMrouteOverflowSeeds(40, 20, 60, core.Seeds(*seed, *reps)))
+				return
+			}
+			fmt.Println(core.RunMrouteOverflow(40, 20, 60, *seed))
+		},
 		"generations": func() { fmt.Println(core.RunGenerations()) },
 		"merge":       func() { fmt.Println(core.RunMergeBottleneck([]int{1, 2, 4, 8}, 50, *seed)) },
 		"overhead":    func() { fmt.Println(core.RunHeaderOverhead(*frames, *seed)) },

@@ -31,8 +31,9 @@ type Design2 struct {
 	OutMap   *mcast.Map
 
 	// arrivals[ipID][tenant] records market-data delivery times for skew
-	// analysis.
-	arrivals map[uint16]map[int]sim.Time
+	// analysis; the zero Time means "not delivered to this tenant" (nothing
+	// arrives at t=0 — every path charges positive latency).
+	arrivals map[uint16][]sim.Time
 }
 
 // NewDesign2 builds the cloud plant with the given per-tenant path
@@ -41,7 +42,7 @@ func NewDesign2(sc Scenario, tenantLat []sim.Duration, equalize bool) *Design2 {
 	d := &Design2{
 		Scenario: sc,
 		Sched:    sim.NewScheduler(sc.Seed),
-		arrivals: make(map[uint16]map[int]sim.Time),
+		arrivals: make(map[uint16][]sim.Time),
 	}
 	d.U = buildUniverse(sc.Symbols)
 	d.OutMap = mcast.NewMap(mcast.NewPartitioner(d.U, mcast.ByHash, sc.InternalPartitions), mcast.NewAllocator(2))
@@ -73,7 +74,7 @@ func NewDesign2(sc Scenario, tenantLat []sim.Duration, equalize bool) *Design2 {
 			if err := pkt.ParseUDPFrame(f.Data, &uf); err == nil {
 				m := d.arrivals[uf.IP.ID]
 				if m == nil {
-					m = make(map[int]sim.Time)
+					m = make([]sim.Time, len(tenantLat))
 					d.arrivals[uf.IP.ID] = m
 				}
 				m[tenant] = d.Sched.Now()
@@ -107,23 +108,26 @@ func (d *Design2) MeasureRoundTrip(bursts int) RoundTrip {
 // by at least two tenants, max arrival minus min arrival.
 func (d *Design2) SkewStats() (maxSkew sim.Duration, samples int) {
 	for _, byTenant := range d.arrivals {
-		if len(byTenant) < 2 {
-			continue
-		}
 		var lo, hi sim.Time
-		first := true
+		n := 0
 		for _, at := range byTenant {
-			if first {
-				lo, hi = at, at
-				first = false
+			if at == 0 {
 				continue
 			}
-			if at < lo {
-				lo = at
+			if n == 0 {
+				lo, hi = at, at
+			} else {
+				if at < lo {
+					lo = at
+				}
+				if at > hi {
+					hi = at
+				}
 			}
-			if at > hi {
-				hi = at
-			}
+			n++
+		}
+		if n < 2 {
+			continue
 		}
 		samples++
 		if s := hi.Sub(lo); s > maxSkew {

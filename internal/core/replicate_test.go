@@ -1,0 +1,123 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSeeds(t *testing.T) {
+	got := Seeds(7, 4)
+	want := []int64{7, 8, 9, 10}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Seeds(7,4) = %v, want %v", got, want)
+	}
+	if len(Seeds(1, 0)) != 0 {
+		t.Fatalf("Seeds(1,0) should be empty")
+	}
+}
+
+func TestRunParallelPreservesSeedOrder(t *testing.T) {
+	seeds := Seeds(100, 64)
+	got := RunParallel(seeds, func(seed int64) int64 { return seed * 3 })
+	for i, v := range got {
+		if v != seeds[i]*3 {
+			t.Fatalf("result[%d] = %d, want %d", i, v, seeds[i]*3)
+		}
+	}
+}
+
+// TestRunParallelMatchesSequential is the core determinism claim: fanning N
+// seeds of a full plant simulation across workers yields bit-for-bit the
+// same results as running them one at a time. Run with -race to also prove
+// the replications share no mutable state.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	sc := SmallScenario()
+	seeds := Seeds(1, 4)
+	run := func(seed int64) DesignComparison {
+		s := sc
+		s.Seed = seed
+		return RunDesignComparison(s, 2)
+	}
+
+	sequential := make([]DesignComparison, len(seeds))
+	for i, s := range seeds {
+		sequential[i] = run(s)
+	}
+	parallel := RunParallel(seeds, run)
+
+	if !reflect.DeepEqual(sequential, parallel) {
+		t.Fatalf("parallel replications diverge from sequential runs:\nsequential: %+v\nparallel:   %+v",
+			sequential, parallel)
+	}
+}
+
+// TestRunParallelRepeatable: two parallel runs of the same seed set are
+// identical to each other, however the work interleaves.
+func TestRunParallelRepeatable(t *testing.T) {
+	seeds := Seeds(3, 3)
+	run := func(seed int64) MrouteOverflowResult {
+		return RunMrouteOverflow(12, 6, 10, seed)
+	}
+	a := RunParallel(seeds, run)
+	b := RunParallel(seeds, run)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("repeated parallel runs diverge:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunDesignComparisonSeedsMergesRuns(t *testing.T) {
+	sc := SmallScenario()
+	seeds := Seeds(1, 3)
+	rep := RunDesignComparisonSeeds(sc, 2, seeds)
+	if len(rep.Runs) != len(seeds) {
+		t.Fatalf("got %d runs, want %d", len(rep.Runs), len(seeds))
+	}
+	// Each per-seed run must equal the sequential single-seed experiment.
+	for i, seed := range seeds {
+		s := sc
+		s.Seed = seed
+		want := RunDesignComparison(s, 2)
+		if !reflect.DeepEqual(rep.Runs[i], want) {
+			t.Fatalf("run for seed %d diverges from sequential result", seed)
+		}
+	}
+	if len(rep.Rows) != len(rep.Runs[0].Rows) {
+		t.Fatalf("got %d merged rows, want %d", len(rep.Rows), len(rep.Runs[0].Rows))
+	}
+	for d, row := range rep.Rows {
+		wantOrders := 0
+		for _, run := range rep.Runs {
+			wantOrders += run.Rows[d].Orders
+		}
+		if row.Orders != wantOrders {
+			t.Errorf("%s: merged orders %d, want %d", row.Design, row.Orders, wantOrders)
+		}
+		if row.Mean <= 0 || row.P99 < row.P50 {
+			t.Errorf("%s: implausible merged stats: mean %v p50 %v p99 %v",
+				row.Design, row.Mean, row.P50, row.P99)
+		}
+	}
+	if rep.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestRunMrouteOverflowSeedsPools(t *testing.T) {
+	seeds := Seeds(1, 3)
+	rep := RunMrouteOverflowSeeds(12, 6, 10, seeds)
+	if len(rep.Runs) != len(seeds) {
+		t.Fatalf("got %d runs, want %d", len(rep.Runs), len(seeds))
+	}
+	for i, seed := range seeds {
+		want := RunMrouteOverflow(12, 6, 10, seed)
+		if !reflect.DeepEqual(rep.Runs[i], want) {
+			t.Fatalf("run for seed %d diverges from sequential result", seed)
+		}
+	}
+	if rep.HWMean <= 0 || rep.SWMean <= rep.HWMean {
+		t.Fatalf("implausible pooled means: hw %v sw %v", rep.HWMean, rep.SWMean)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}

@@ -84,19 +84,27 @@ func (c *CloudEqualizer) delay(i int) sim.Duration {
 // tenants; tenant ingress unicasts to the exchange.
 func (c *CloudEqualizer) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
 	if ingress == c.ports[0] {
+		if len(c.ports) == 1 {
+			f.Release()
+			return
+		}
 		for i := 1; i < len(c.ports); i++ {
-			out := c.ports[i]
 			c.Delivered++
-			c.sched.After(c.delay(i), func() { out.Send(f.Clone()) })
+			// Clone per extra tenant; the last leg carries the original.
+			ff := f
+			if i < len(c.ports)-1 {
+				ff = f.Clone()
+			}
+			c.sched.AfterArgs(c.delay(i), sim.PrioDeliver, sendFrame, c.ports[i], ff)
 		}
 		return
 	}
 	for i := 1; i < len(c.ports); i++ {
 		if c.ports[i] == ingress {
 			c.Delivered++
-			ex := c.ports[0]
-			c.sched.After(c.delay(i), func() { ex.Send(f) })
+			c.sched.AfterArgs(c.delay(i), sim.PrioDeliver, sendFrame, c.ports[0], f)
 			return
 		}
 	}
+	f.Release()
 }

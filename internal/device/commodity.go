@@ -5,8 +5,6 @@
 package device
 
 import (
-	"fmt"
-
 	"tradenet/internal/netsim"
 	"tradenet/internal/pkt"
 	"tradenet/internal/sim"
@@ -53,9 +51,9 @@ type CommoditySwitch struct {
 	ports []*netsim.Port
 
 	fib    map[pkt.MAC]*netsim.Port
-	mroute map[pkt.IP4][]*netsim.Port
+	mroute map[pkt.IP4]*mcastEntry
 	// softGroups holds groups that arrived after the table filled.
-	softGroups map[pkt.IP4][]*netsim.Port
+	softGroups map[pkt.IP4]*mcastEntry
 	softBusy   sim.Time
 
 	// Stats.
@@ -74,17 +72,16 @@ func NewCommoditySwitch(sched *sim.Scheduler, name string, nports int, cfg Commo
 		Name:       name,
 		sched:      sched,
 		cfg:        cfg,
-		fib:        make(map[pkt.MAC]*netsim.Port),
-		mroute:     make(map[pkt.IP4][]*netsim.Port),
-		softGroups: make(map[pkt.IP4][]*netsim.Port),
+		fib:        make(map[pkt.MAC]*netsim.Port, 2*nports),
+		mroute:     make(map[pkt.IP4]*mcastEntry),
+		softGroups: make(map[pkt.IP4]*mcastEntry),
 	}
-	for i := 0; i < nports; i++ {
-		p := netsim.NewPort(sched, s, fmt.Sprintf("%s/p%d", name, i))
+	s.ports = netsim.NewPorts(sched, s, name, nports)
+	for _, p := range s.ports {
 		p.CutThrough = true
 		if cfg.QueueBytes > 0 {
 			p.SetQueueCapacity(cfg.QueueBytes)
 		}
-		s.ports = append(s.ports, p)
 	}
 	return s
 }
@@ -106,19 +103,19 @@ func (s *CommoditySwitch) Learn(mac pkt.MAC, i int) { s.fib[mac] = s.ports[i] }
 // the group is served by the software slow path.
 func (s *CommoditySwitch) JoinGroup(group pkt.IP4, i int) bool {
 	p := s.ports[i]
-	if lst, ok := s.mroute[group]; ok {
-		s.mroute[group] = appendUniquePort(lst, p)
+	if ent, ok := s.mroute[group]; ok {
+		ent.ports = appendUniquePort(ent.ports, p)
 		return true
 	}
-	if lst, ok := s.softGroups[group]; ok {
-		s.softGroups[group] = appendUniquePort(lst, p)
+	if ent, ok := s.softGroups[group]; ok {
+		ent.ports = appendUniquePort(ent.ports, p)
 		return false
 	}
 	if len(s.mroute) < s.cfg.MrouteCapacity {
-		s.mroute[group] = []*netsim.Port{p}
+		s.mroute[group] = &mcastEntry{ports: []*netsim.Port{p}}
 		return true
 	}
-	s.softGroups[group] = []*netsim.Port{p}
+	s.softGroups[group] = &mcastEntry{ports: []*netsim.Port{p}}
 	return false
 }
 
@@ -145,19 +142,15 @@ func (s *CommoditySwitch) LeaveGroup(group pkt.IP4, i int) {
 		}
 		return lst
 	}
-	if lst, ok := s.mroute[group]; ok {
-		if lst = remove(lst); len(lst) == 0 {
+	if ent, ok := s.mroute[group]; ok {
+		if ent.ports = remove(ent.ports); len(ent.ports) == 0 {
 			delete(s.mroute, group)
-		} else {
-			s.mroute[group] = lst
 		}
 		return
 	}
-	if lst, ok := s.softGroups[group]; ok {
-		if lst = remove(lst); len(lst) == 0 {
+	if ent, ok := s.softGroups[group]; ok {
+		if ent.ports = remove(ent.ports); len(ent.ports) == 0 {
 			delete(s.softGroups, group)
-		} else {
-			s.softGroups[group] = lst
 		}
 	}
 }
@@ -168,12 +161,33 @@ func (s *CommoditySwitch) HardwareGroups() int { return len(s.mroute) }
 // SoftwareGroups returns the number of overflowed groups.
 func (s *CommoditySwitch) SoftwareGroups() int { return len(s.softGroups) }
 
+// sendFrame is the deferred-forward callback shared by every device,
+// scheduled closure-free via AfterArgs.
+func sendFrame(a, b any) {
+	a.(*netsim.Port).Send(b.(*netsim.Frame))
+}
+
+// mcastEntry is one multicast group's egress set. Groups are boxed so the
+// deferred fan-out can carry a stable pointer through AfterArgs3 instead of
+// a slice-capturing closure (slices don't box into any without allocating).
+type mcastEntry struct {
+	ports []*netsim.Port
+}
+
+// fanOutEntry is the deferred multicast-forward callback: egress set,
+// ingress to suppress, frame.
+func fanOutEntry(a, b, c any) {
+	fanOut(a.(*mcastEntry).ports, b.(*netsim.Port), c.(*netsim.Frame))
+}
+
 // HandleFrame implements netsim.Handler: look up the egress set, charge
-// the pipeline latency, and enqueue on the egress ports.
+// the pipeline latency, and enqueue on the egress ports. Dropped frames
+// terminate here and return to the pool.
 func (s *CommoditySwitch) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
 	var eth pkt.Ethernet
 	if _, err := eth.Decode(f.Data); err != nil {
 		s.UnknownDrops++
+		f.Release()
 		return
 	}
 	if eth.Dst.IsMulticast() {
@@ -183,13 +197,15 @@ func (s *CommoditySwitch) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
 	out, ok := s.fib[eth.Dst]
 	if !ok {
 		s.UnknownDrops++
+		f.Release()
 		return
 	}
 	if out == ingress {
+		f.Release()
 		return // hairpin suppressed
 	}
 	s.Forwarded++
-	s.sched.After(s.cfg.Latency, func() { out.Send(f) })
+	s.sched.AfterArgs(s.cfg.Latency, sim.PrioDeliver, sendFrame, out, f)
 }
 
 func (s *CommoditySwitch) forwardMulticast(ingress *netsim.Port, f *netsim.Frame, dst pkt.MAC) {
@@ -199,24 +215,19 @@ func (s *CommoditySwitch) forwardMulticast(ingress *netsim.Port, f *netsim.Frame
 	var uf pkt.UDPFrame
 	if err := pkt.ParseUDPFrame(f.Data, &uf); err != nil {
 		s.UnknownDrops++
+		f.Release()
 		return
 	}
 	group := uf.IP.Dst
-	if outs, ok := s.mroute[group]; ok {
+	if ent, ok := s.mroute[group]; ok {
 		s.Forwarded++
-		s.sched.After(s.cfg.Latency, func() {
-			for _, out := range outs {
-				if out == ingress {
-					continue
-				}
-				out.Send(f.Clone())
-			}
-		})
+		s.sched.AfterArgs3(s.cfg.Latency, sim.PrioDeliver, fanOutEntry, ent, ingress, f)
 		return
 	}
-	outs, ok := s.softGroups[group]
+	ent, ok := s.softGroups[group]
 	if !ok {
 		s.UnknownDrops++
+		f.Release()
 		return
 	}
 	// Software slow path: a CPU forwards one frame at a time at
@@ -230,17 +241,39 @@ func (s *CommoditySwitch) forwardMulticast(ingress *netsim.Port, f *netsim.Frame
 	// Allow a short CPU backlog (16 frames); beyond it, drop.
 	if s.softBusy.Sub(now) > 16*service {
 		s.SoftDrops++
+		f.Release()
 		return
 	}
 	start := s.softBusy
 	s.softBusy = start.Add(service)
 	s.SoftForwarded++
-	s.sched.At(start.Add(s.cfg.SoftwareLatency), func() {
-		for _, out := range outs {
-			if out == ingress {
-				continue
-			}
+	s.sched.AtArgs3(start.Add(s.cfg.SoftwareLatency), sim.PrioDeliver, fanOutEntry, ent, ingress, f)
+}
+
+// fanOut replicates f to every egress except ingress. The last eligible leg
+// is given the original frame instead of a clone, so each fan-out recycles
+// one buffer; a fan-out with no eligible legs terminates the frame.
+func fanOut(outs []*netsim.Port, ingress *netsim.Port, f *netsim.Frame) {
+	n := 0
+	for _, out := range outs {
+		if out != ingress {
+			n++
+		}
+	}
+	if n == 0 {
+		f.Release()
+		return
+	}
+	i := 0
+	for _, out := range outs {
+		if out == ingress {
+			continue
+		}
+		i++
+		if i == n {
+			out.Send(f)
+		} else {
 			out.Send(f.Clone())
 		}
-	})
+	}
 }

@@ -1,8 +1,6 @@
 package device
 
 import (
-	"fmt"
-
 	"tradenet/internal/netsim"
 	"tradenet/internal/pkt"
 	"tradenet/internal/sim"
@@ -69,11 +67,10 @@ func NewFilteringL1Switch(sched *sim.Scheduler, name string, nports int, cfg Fil
 		fanout: make(map[int][]int),
 		subs:   make(map[int]map[pkt.IP4]bool),
 	}
-	for i := 0; i < nports; i++ {
-		p := netsim.NewPort(sched, s, fmt.Sprintf("%s/p%d", name, i))
+	s.ports = netsim.NewPorts(sched, s, name, nports)
+	for _, p := range s.ports {
 		p.CutThrough = true
 		p.SetQueueCapacity(cfg.MergeQueueBytes)
-		s.ports = append(s.ports, p)
 	}
 	return s
 }
@@ -129,6 +126,7 @@ func (s *FilteringL1Switch) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
 	outs := s.fanout[in]
 	if len(outs) == 0 {
 		s.NoRoute++
+		f.Release()
 		return
 	}
 	var group pkt.IP4
@@ -138,16 +136,28 @@ func (s *FilteringL1Switch) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
 		group, isMcast = uf.IP.Dst, true
 	}
 	s.Forwarded++
+	// Count eligible legs so the last one can carry the original frame.
+	eligible := 0
+	for _, o := range outs {
+		if filt := s.subs[o]; len(filt) > 0 && isMcast && !filt[group] {
+			continue
+		}
+		eligible++
+	}
+	sent := 0
 	for _, o := range outs {
 		if filt := s.subs[o]; len(filt) > 0 && isMcast && !filt[group] {
 			s.FilteredOut++
 			continue
 		}
-		out := s.ports[o]
+		sent++
 		ff := f
-		if len(outs) > 1 {
+		if sent < eligible {
 			ff = f.Clone()
 		}
-		s.sched.After(s.cfg.Latency, func() { out.Send(ff) })
+		s.sched.AfterArgs(s.cfg.Latency, sim.PrioDeliver, sendFrame, s.ports[o], ff)
+	}
+	if eligible == 0 {
+		f.Release()
 	}
 }

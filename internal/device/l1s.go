@@ -1,8 +1,6 @@
 package device
 
 import (
-	"fmt"
-
 	"tradenet/internal/netsim"
 	"tradenet/internal/sim"
 )
@@ -69,10 +67,9 @@ func NewL1Switch(sched *sim.Scheduler, name string, nports int, cfg L1SwitchConf
 		fanout: make(map[int][]int),
 		merged: make(map[int]bool),
 	}
-	for i := 0; i < nports; i++ {
-		p := netsim.NewPort(sched, s, fmt.Sprintf("%s/p%d", name, i))
+	s.ports = netsim.NewPorts(sched, s, name, nports)
+	for _, p := range s.ports {
 		p.CutThrough = true
-		s.ports = append(s.ports, p)
 	}
 	return s
 }
@@ -130,6 +127,7 @@ func (s *L1Switch) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
 	outs := s.fanout[in]
 	if len(outs) == 0 {
 		s.NoRoute++
+		f.Release()
 		return
 	}
 	now := s.sched.Now()
@@ -137,16 +135,16 @@ func (s *L1Switch) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
 		s.Timestamp(in, f, now)
 	}
 	s.Forwarded++
-	for _, o := range outs {
+	for i, o := range outs {
 		lat := s.cfg.FanoutLatency
 		if s.merged[o] {
 			lat += s.cfg.MergeLatency
 		}
-		out := s.ports[o]
+		// Clone per extra leg; the last leg carries the original frame.
 		ff := f
-		if len(outs) > 1 {
+		if i < len(outs)-1 {
 			ff = f.Clone()
 		}
-		s.sched.After(lat, func() { out.Send(ff) })
+		s.sched.AfterArgs(lat, sim.PrioDeliver, sendFrame, s.ports[o], ff)
 	}
 }

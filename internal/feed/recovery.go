@@ -13,10 +13,11 @@ import "encoding/binary"
 // RetainBuffer is the server-side replay window: the most recent datagrams
 // of one unit, indexed by starting sequence number.
 type RetainBuffer struct {
-	unit uint8
-	cap  int
-	ring [][]byte // retained datagrams, oldest first
-	seqs []uint32 // starting seq per retained datagram
+	unit  uint8
+	cap   int
+	ring  [][]byte // retained datagrams, oldest first
+	seqs  []uint32 // starting seq per retained datagram
+	spare []byte   // last evicted datagram's buffer, reused by Retain
 }
 
 // NewRetainBuffer retains up to capDgrams datagrams for unit.
@@ -33,9 +34,15 @@ func (rb *RetainBuffer) Retain(dgram []byte) {
 	if _, err := DecodeUnitHeader(dgram, &h); err != nil || h.Unit != rb.unit {
 		return
 	}
-	rb.ring = append(rb.ring, append([]byte(nil), dgram...))
+	buf := rb.spare
+	rb.spare = nil
+	rb.ring = append(rb.ring, append(buf[:0], dgram...))
 	rb.seqs = append(rb.seqs, h.Seq)
 	if len(rb.ring) > rb.cap {
+		// At steady state every Retain evicts one datagram, whose buffer
+		// becomes the spare for the next copy — the window stops allocating
+		// once full.
+		rb.spare = rb.ring[0]
 		rb.ring = rb.ring[1:]
 		rb.seqs = rb.seqs[1:]
 	}

@@ -129,6 +129,11 @@ type Reassembler struct {
 	msgs     uint64
 	gaps     uint64
 	lostMsgs uint64
+
+	// scratch is the Msg passed to Consume callbacks; hoisting it off the
+	// stack keeps Consume allocation-free (a stack Msg escapes through the
+	// dynamic callback). The pointer is only valid during the callback.
+	scratch Msg
 }
 
 // NewReassembler returns a reassembler expecting unit's sequence 1 first.
@@ -147,7 +152,9 @@ func (r *Reassembler) Stats() (msgs, gaps, lost uint64) {
 
 // Consume parses datagram, delivering each in-sequence message to fn. It
 // returns ErrGap (after delivering the datagram's messages — they are still
-// valid data) when a gap preceded this datagram, or a decode error.
+// valid data) when a gap preceded this datagram, or a decode error. The
+// *Msg passed to fn is reused across messages and calls: it is only valid
+// during the callback; copy it to retain it.
 func (r *Reassembler) Consume(datagram []byte, fn func(*Msg)) error {
 	var h UnitHeader
 	body, err := DecodeUnitHeader(datagram, &h)
@@ -174,9 +181,10 @@ func (r *Reassembler) Consume(datagram []byte, fn func(*Msg)) error {
 	if h.Seq < r.nextSeq {
 		skip = r.nextSeq - h.Seq
 	}
-	var m Msg
+	r.scratch = Msg{}
+	m := &r.scratch
 	for i := uint32(0); i < uint32(h.Count); i++ {
-		body, err = Decode(body, &m)
+		body, err = Decode(body, m)
 		if err != nil {
 			return err
 		}
@@ -185,7 +193,7 @@ func (r *Reassembler) Consume(datagram []byte, fn func(*Msg)) error {
 		}
 		r.msgs++
 		if fn != nil {
-			fn(&m)
+			fn(m)
 		}
 	}
 	r.nextSeq = end

@@ -31,7 +31,6 @@ type Middlebox struct {
 	packer   *feed.Packer
 	reasm    map[uint8]*feed.Reassembler
 	ipID     uint16
-	scratch  []byte
 	busy     sim.Time
 
 	// Stats.
@@ -74,6 +73,9 @@ func (mb *Middlebox) OutNIC() *netsim.NIC { return mb.out }
 func (mb *Middlebox) OutGroup() pkt.IP4 { return mb.outGroup }
 
 func (mb *Middlebox) onFrame(_ *netsim.NIC, f *netsim.Frame) {
+	// Messages are re-encoded into the packer before this returns; the
+	// frame terminates here.
+	defer f.Release()
 	var uf pkt.UDPFrame
 	if err := pkt.ParseUDPFrame(f.Data, &uf); err != nil {
 		return
@@ -121,8 +123,10 @@ func (mb *Middlebox) flush(origin sim.Time) {
 	src := mb.out.Addr(NormalizedPort)
 	mb.packer.Flush(func(dgram []byte) {
 		mb.ipID++
-		mb.scratch = pkt.AppendUDPFrame(mb.scratch[:0], src, dst, mb.ipID, dgram)
-		mb.out.Send(&netsim.Frame{Data: append([]byte(nil), mb.scratch...), Origin: origin})
+		fr := netsim.NewFrame()
+		fr.Data = pkt.AppendUDPFrame(fr.Data, src, dst, mb.ipID, dgram)
+		fr.Origin = origin
+		mb.out.Send(fr)
 	})
 }
 

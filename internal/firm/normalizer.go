@@ -56,8 +56,7 @@ type Normalizer struct {
 	// carry no symbol on the wire) can be repartitioned correctly.
 	orderSym map[uint64]market.SymbolID
 
-	ipID    uint16
-	scratch []byte
+	ipID uint16
 
 	// Stats.
 	MsgsIn, MsgsOut   uint64
@@ -112,11 +111,19 @@ func (n *Normalizer) PubNIC() *netsim.NIC { return n.pubNIC }
 func (n *Normalizer) OutMap() *mcast.Map { return n.outMap }
 
 func (n *Normalizer) onFrame(_ *netsim.NIC, f *netsim.Frame) {
-	// Charge the software processing cost, then normalize.
-	n.sched.After(n.cfg.ProcLatency, func() { n.process(f) })
+	// Charge the software processing cost, then normalize. The frame is
+	// retained past this callback, so nothing upstream may release it;
+	// process terminates it.
+	n.sched.AfterArgs(n.cfg.ProcLatency, sim.PrioDeliver, processFrame, n, f)
+}
+
+// processFrame runs a deferred normalization, scheduled closure-free.
+func processFrame(a, b any) {
+	a.(*Normalizer).process(b.(*netsim.Frame))
 }
 
 func (n *Normalizer) process(f *netsim.Frame) {
+	defer f.Release()
 	var uf pkt.UDPFrame
 	if err := pkt.ParseUDPFrame(f.Data, &uf); err != nil {
 		return
@@ -190,10 +197,12 @@ func (n *Normalizer) flush(part int, origin sim.Time) {
 	src := n.pubNIC.Addr(NormalizedPort)
 	n.packers[part].Flush(func(dgram []byte) {
 		n.ipID++
-		n.scratch = pkt.AppendUDPFrame(n.scratch[:0], src, dst, n.ipID, dgram)
-		// Preserve the original ingress timestamp so end-to-end latency
-		// (exchange → strategy) is measurable across the normalizer.
-		fr := &netsim.Frame{Data: append([]byte(nil), n.scratch...), Origin: origin}
+		// Build straight into a pooled frame. Preserve the original ingress
+		// timestamp so end-to-end latency (exchange → strategy) is
+		// measurable across the normalizer.
+		fr := netsim.NewFrame()
+		fr.Data = pkt.AppendUDPFrame(fr.Data, src, dst, n.ipID, dgram)
+		fr.Origin = origin
 		n.pubNIC.Send(fr)
 	})
 }

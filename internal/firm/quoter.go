@@ -133,6 +133,8 @@ func (q *Quoter) ConnectGateway(localPort uint16, gwAddr pkt.UDPAddr) {
 }
 
 func (q *Quoter) onFrame(_ *netsim.NIC, f *netsim.Frame) {
+	// Fully consumed synchronously; the frame terminates here.
+	defer f.Release()
 	var uf pkt.UDPFrame
 	if err := pkt.ParseUDPFrame(f.Data, &uf); err != nil {
 		return

@@ -125,6 +125,9 @@ func (s *Strategy) Book(id market.SymbolID) *market.Book {
 }
 
 func (s *Strategy) onFrame(_ *netsim.NIC, f *netsim.Frame) {
+	// The frame is fully consumed synchronously (the reassembler decodes
+	// into Msg values and apply copies what it keeps), so it terminates here.
+	defer f.Release()
 	var uf pkt.UDPFrame
 	if err := pkt.ParseUDPFrame(f.Data, &uf); err != nil {
 		return

@@ -31,6 +31,39 @@ type Book struct {
 	OnBBOChange func(BBO)
 
 	lastBBO BBO
+
+	// Free lists: resting orders and price levels churn at feed rate
+	// (add/cancel is the dominant message mix), so their storage is
+	// recycled instead of re-allocated.
+	freeOrders []*bookOrder
+	freeLevels []*level
+
+	// fills backs the slice Add returns; see Add.
+	fills []Fill
+}
+
+func (b *Book) allocOrder() *bookOrder {
+	if n := len(b.freeOrders); n > 0 {
+		bo := b.freeOrders[n-1]
+		b.freeOrders = b.freeOrders[:n-1]
+		return bo
+	}
+	return &bookOrder{}
+}
+
+func (b *Book) freeOrder(bo *bookOrder) {
+	bo.lvl = nil
+	b.freeOrders = append(b.freeOrders, bo)
+}
+
+func (b *Book) allocLevel(p Price) *level {
+	if n := len(b.freeLevels); n > 0 {
+		l := b.freeLevels[n-1]
+		b.freeLevels = b.freeLevels[:n-1]
+		l.price, l.size = p, 0
+		return l
+	}
+	return &level{price: p}
 }
 
 // NewBook returns an empty book for symbol.
@@ -79,7 +112,7 @@ func (b *Book) findLevel(s Side, p Price, create bool) *level {
 	if !create {
 		return nil
 	}
-	l := &level{price: p}
+	l := b.allocLevel(p)
 	*lvls = append(*lvls, nil)
 	copy((*lvls)[i+1:], (*lvls)[i:])
 	(*lvls)[i] = l
@@ -96,6 +129,8 @@ func (b *Book) removeLevelIfEmpty(s Side, l *level) {
 			copy((*lvls)[i:], (*lvls)[i+1:])
 			(*lvls)[len(*lvls)-1] = nil
 			*lvls = (*lvls)[:len(*lvls)-1]
+			l.orders = l.orders[:0]
+			b.freeLevels = append(b.freeLevels, l)
 			return
 		}
 	}
@@ -130,7 +165,9 @@ func (b *Book) notifyIfBBOChanged() bool {
 
 // Add enters a limit order. If it crosses resting liquidity it matches
 // immediately (price-time priority, at the resting price); any remainder
-// rests. It returns the fills generated, in execution order.
+// rests. It returns the fills generated, in execution order. The returned
+// slice is reused by the next call to Add or Modify — callers that need
+// the fills afterwards must copy them.
 func (b *Book) Add(o Order) []Fill {
 	if o.Qty <= 0 {
 		return nil
@@ -138,7 +175,7 @@ func (b *Book) Add(o Order) []Fill {
 	if _, dup := b.orders[o.ID]; dup {
 		return nil
 	}
-	var fills []Fill
+	fills := b.fills[:0]
 	opp := sideLevels(b, o.Side.Opposite())
 	for o.Qty > 0 && len(*opp) > 0 && crosses(o.Side, o.Price, (*opp)[0].price) {
 		lvl := (*opp)[0]
@@ -155,17 +192,20 @@ func (b *Book) Add(o Order) []Fill {
 			if rest.Qty == 0 {
 				lvl.orders = lvl.orders[1:]
 				delete(b.orders, rest.ID)
+				b.freeOrder(rest)
 			}
 		}
 		b.removeLevelIfEmpty(o.Side.Opposite(), lvl)
 	}
 	if o.Qty > 0 {
 		lvl := b.findLevel(o.Side, o.Price, true)
-		bo := &bookOrder{Order: o, lvl: lvl}
+		bo := b.allocOrder()
+		bo.Order, bo.lvl = o, lvl
 		lvl.orders = append(lvl.orders, bo)
 		lvl.size += o.Qty
 		b.orders[o.ID] = bo
 	}
+	b.fills = fills
 	b.notifyIfBBOChanged()
 	return fills
 }
@@ -190,6 +230,7 @@ func (b *Book) Cancel(id OrderID) bool {
 	lvl.size -= bo.Qty
 	delete(b.orders, id)
 	b.removeLevelIfEmpty(bo.Side, lvl)
+	b.freeOrder(bo)
 	b.notifyIfBBOChanged()
 	return true
 }

@@ -7,33 +7,57 @@ package metrics
 import (
 	"fmt"
 	"math"
-	"sort"
+	"math/bits"
+	"slices"
 	"strings"
 )
-
-// Histogram records int64 samples (typically picosecond latencies or byte
-// counts) with exact min/max/mean and quantiles computed from
-// log-linear buckets, in the style of HDR histograms: each power-of-two
-// range is split into 32 linear sub-buckets, giving ~3% relative error on
-// quantiles across the full int64 range with a small fixed footprint.
-type Histogram struct {
-	count  int64
-	sum    int64
-	min    int64
-	max    int64
-	counts map[int]int64 // bucket index -> count
-	exact  []int64       // retained raw samples while small, for exact quantiles
-}
 
 const (
 	subBucketBits  = 5 // 32 linear sub-buckets per octave
 	subBuckets     = 1 << subBucketBits
 	exactThreshold = 4096 // keep raw samples up to this many for exact stats
+
+	// numBuckets is the full index range of bucketIndex over non-negative
+	// int64: 32 unit buckets for [0,32), then 32 sub-buckets for each of the
+	// 58 octaves [2^5,2^6) … [2^62,2^63).
+	numBuckets = subBuckets + (62-subBucketBits+1)*subBuckets // 1888
 )
+
+// Histogram records int64 samples (typically picosecond latencies or byte
+// counts) with exact min/max/mean and quantiles computed from log-linear
+// buckets, in the style of HDR histograms: each power-of-two range is split
+// into 32 linear sub-buckets, giving ~3% relative error on quantiles across
+// the full int64 range with a small fixed footprint.
+//
+// Buckets are a dense fixed-size array (no map, no hashing on the record
+// path), and quantile queries run off a cached cumulative distribution that
+// is rebuilt at most once per batch of observations — so neither Observe nor
+// Quantile allocates in steady state.
+type Histogram struct {
+	count int64
+	sum   int64
+	min   int64
+	max   int64
+
+	counts [numBuckets]int64
+
+	// exact retains raw samples while the histogram is small, for exact
+	// quantiles. Once the count passes exactThreshold the histogram degrades
+	// to bucketed quantiles; exactOver records that transition (the backing
+	// array is kept for Reset-without-realloc).
+	exact     []int64
+	exactOver bool
+
+	// Quantile caches, invalidated by Observe/Merge/Reset.
+	cdf         []int64 // cdf[i] = sum of counts[0..i]; len numBuckets when valid
+	cdfValid    bool
+	sortedExact []int64
+	sortValid   bool
+}
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
-	return &Histogram{min: math.MaxInt64, max: math.MinInt64, counts: make(map[int]int64)}
+	return &Histogram{min: math.MaxInt64, max: math.MinInt64}
 }
 
 func bucketIndex(v int64) int {
@@ -45,7 +69,7 @@ func bucketIndex(v int64) int {
 	}
 	// v lies in the octave [2^hi, 2^(hi+1)), split into 32 linear
 	// sub-buckets of width 2^(hi-5).
-	hi := 63 - leadingZeros64(uint64(v))
+	hi := bits.Len64(uint64(v)) - 1
 	shift := hi - subBucketBits
 	sub := int(v>>uint(shift)) & (subBuckets - 1)
 	octave := hi - subBucketBits
@@ -73,18 +97,6 @@ func bucketMid(idx int) int64 {
 	return lo + (next-lo)/2
 }
 
-func leadingZeros64(x uint64) int {
-	n := 0
-	if x == 0 {
-		return 64
-	}
-	for x&(1<<63) == 0 {
-		x <<= 1
-		n++
-	}
-	return n
-}
-
 // Observe records one sample. Negative samples are clamped to zero: they can
 // only arise from clock-model skew and would otherwise corrupt quantiles.
 func (h *Histogram) Observe(v int64) {
@@ -100,12 +112,14 @@ func (h *Histogram) Observe(v int64) {
 		h.max = v
 	}
 	h.counts[bucketIndex(v)]++
-	if h.exact != nil || h.count <= exactThreshold {
+	if !h.exactOver {
 		h.exact = append(h.exact, v)
 		if len(h.exact) > exactThreshold {
-			h.exact = nil // fall back to bucketed quantiles
+			h.exactOver = true // fall back to bucketed quantiles
+			h.exact = h.exact[:0]
 		}
 	}
+	h.cdfValid, h.sortValid = false, false
 }
 
 // Count returns the number of samples recorded.
@@ -141,6 +155,8 @@ func (h *Histogram) Mean() float64 {
 // Quantile returns the q-quantile (q in [0,1]). While the histogram holds at
 // most 4096 samples the answer is exact; beyond that it is the midpoint of
 // the log-linear bucket containing the quantile (≤ ~3% relative error).
+// Queries are O(buckets) to refresh the cached CDF after new observations
+// and O(log buckets) thereafter; no per-query sorting or allocation.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h.count == 0 {
 		return 0
@@ -155,31 +171,43 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if rank >= h.count {
 		rank = h.count - 1
 	}
-	if h.exact != nil {
-		sorted := append([]int64(nil), h.exact...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		return sorted[rank]
+	if !h.exactOver {
+		if !h.sortValid {
+			h.sortedExact = append(h.sortedExact[:0], h.exact...)
+			slices.Sort(h.sortedExact)
+			h.sortValid = true
+		}
+		return h.sortedExact[rank]
 	}
-	idxs := make([]int, 0, len(h.counts))
-	for idx := range h.counts {
-		idxs = append(idxs, idx)
+	if !h.cdfValid {
+		if h.cdf == nil {
+			h.cdf = make([]int64, numBuckets)
+		}
+		var run int64
+		for i, c := range h.counts {
+			run += c
+			h.cdf[i] = run
+		}
+		h.cdfValid = true
 	}
-	sort.Ints(idxs)
-	var seen int64
-	for _, idx := range idxs {
-		seen += h.counts[idx]
-		if seen > rank {
-			mid := bucketMid(idx)
-			if mid < h.min {
-				mid = h.min
-			}
-			if mid > h.max {
-				mid = h.max
-			}
-			return mid
+	// First bucket whose cumulative count exceeds rank.
+	lo, hi := 0, numBuckets-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.cdf[mid] > rank {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
 	}
-	return h.Max()
+	mid := bucketMid(lo)
+	if mid < h.min {
+		mid = h.min
+	}
+	if mid > h.max {
+		mid = h.max
+	}
+	return mid
 }
 
 // Median is Quantile(0.5).
@@ -202,22 +230,29 @@ func (h *Histogram) Merge(o *Histogram) {
 	if o.max > h.max {
 		h.max = o.max
 	}
-	for idx, c := range o.counts {
-		h.counts[idx] += c
+	for i, c := range o.counts {
+		if c != 0 {
+			h.counts[i] += c
+		}
 	}
-	if h.exact != nil && o.exact != nil && int64(len(h.exact)+len(o.exact)) <= exactThreshold {
+	if !h.exactOver && !o.exactOver && len(h.exact)+len(o.exact) <= exactThreshold {
 		h.exact = append(h.exact, o.exact...)
 	} else {
-		h.exact = nil
+		h.exactOver = true
+		h.exact = h.exact[:0]
 	}
+	h.cdfValid, h.sortValid = false, false
 }
 
-// Reset empties the histogram.
+// Reset empties the histogram without releasing its backing storage, so a
+// pooled histogram reused across replications does not re-allocate.
 func (h *Histogram) Reset() {
 	h.count, h.sum = 0, 0
 	h.min, h.max = math.MaxInt64, math.MinInt64
-	h.counts = make(map[int]int64)
+	h.counts = [numBuckets]int64{}
 	h.exact = h.exact[:0]
+	h.exactOver = false
+	h.cdfValid, h.sortValid = false, false
 }
 
 // String summarizes the distribution on one line.

@@ -97,7 +97,10 @@ func (h *Host) NICs() []*NIC { return h.nics }
 type hostHandler Host
 
 // HandleFrame implements Handler: filter by NIC address, charge the
-// software receive latency, then deliver to the application.
+// software receive latency, then deliver to the application. Filtered and
+// unconsumed frames terminate here and return to the pool; frames handed to
+// OnFrame are owned by the application (which may retain them past the
+// callback), so they are never auto-released.
 func (hh *hostHandler) HandleFrame(ingress *Port, f *Frame) {
 	h := (*Host)(hh)
 	var nic *NIC
@@ -108,25 +111,35 @@ func (hh *hostHandler) HandleFrame(ingress *Port, f *Frame) {
 		}
 	}
 	if nic == nil {
+		f.Release()
 		return
 	}
 	var eth pkt.Ethernet
 	if _, err := eth.Decode(f.Data); err != nil {
 		nic.Filtered++
+		f.Release()
 		return
 	}
 	if !nic.accepts(eth.Dst) {
 		nic.Filtered++
+		f.Release()
 		return
 	}
 	if nic.OnFrame == nil {
+		f.Release()
 		return
 	}
 	if h.RxLatency <= 0 {
 		nic.OnFrame(nic, f)
 		return
 	}
-	h.sched.After(h.RxLatency, func() { nic.OnFrame(nic, f) })
+	h.sched.AfterArgs(h.RxLatency, sim.PrioDeliver, deliverToNIC, nic, f)
+}
+
+// deliverToNIC runs a deferred application delivery, scheduled closure-free.
+func deliverToNIC(a, b any) {
+	nic := a.(*NIC)
+	nic.OnFrame(nic, b.(*Frame))
 }
 
 // Send transmits a frame out of the NIC, stamping Origin if unset.
@@ -137,7 +150,9 @@ func (n *NIC) Send(f *Frame) bool {
 	return n.Port.Send(f)
 }
 
-// SendBytes builds a Frame around data (copying it) and transmits it.
+// SendBytes builds a pooled Frame around data (copying it) and transmits it.
 func (n *NIC) SendBytes(data []byte) bool {
-	return n.Send(&Frame{Data: append([]byte(nil), data...), Origin: n.host.sched.Now()})
+	f := NewFrameBytes(data)
+	f.Origin = n.host.sched.Now()
+	return n.Send(f)
 }

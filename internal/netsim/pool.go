@@ -1,0 +1,53 @@
+package netsim
+
+import "sync"
+
+// frameBufCap is the byte capacity of pooled frame buffers: comfortably
+// above the largest legal frame (pkt.MaxFrameNoFCS), so building any frame
+// into a pooled buffer never re-allocates.
+const frameBufCap = 2048
+
+// framePool recycles Frame objects together with their byte buffers, making
+// the per-frame hot path allocation-free. It is a sync.Pool (not a free
+// list) because core.RunParallel runs independent simulations on separate
+// goroutines that share this package.
+var framePool = sync.Pool{
+	New: func() any {
+		return &Frame{Data: make([]byte, 0, frameBufCap), pooled: true}
+	},
+}
+
+// NewFrame returns an empty pooled frame. Build the wire bytes by appending
+// to Data (capacity frameBufCap is pre-reserved). Pass ownership along with
+// the frame: whoever terminates it calls Release.
+func NewFrame() *Frame {
+	f := framePool.Get().(*Frame)
+	f.Data = f.Data[:0]
+	f.Origin = 0
+	f.ID = 0
+	f.released = false
+	return f
+}
+
+// NewFrameBytes returns a pooled frame whose Data is a copy of data.
+func NewFrameBytes(data []byte) *Frame {
+	f := NewFrame()
+	f.Data = append(f.Data, data...)
+	return f
+}
+
+// Release returns the frame to the pool. It is a no-op for frames not
+// obtained from the pool (hand-built test frames) and for double releases,
+// so terminal points can release unconditionally.
+//
+// Release only at provably-terminal points: address-filter discards, queue
+// tail-drops, in-flight losses, and consumers that are done with the bytes.
+// Frames handed to an application callback may be retained by it (e.g. a
+// normalizer defers processing); infrastructure must not release those.
+func (f *Frame) Release() {
+	if f == nil || !f.pooled || f.released {
+		return
+	}
+	f.released = true
+	framePool.Put(f)
+}

@@ -7,6 +7,8 @@
 package netsim
 
 import (
+	"strconv"
+
 	"tradenet/internal/pkt"
 	"tradenet/internal/sim"
 	"tradenet/internal/units"
@@ -24,14 +26,19 @@ type Frame struct {
 	Data   []byte
 	Origin sim.Time
 	ID     uint64
+
+	pooled   bool // came from framePool; Release returns it
+	released bool // double-release guard
 }
 
-// Clone returns a deep copy of the frame. Replication points (multicast
-// fan-out) clone so downstream queues own their bytes.
+// Clone returns a deep copy of the frame from the pool. Replication points
+// (multicast fan-out) clone so downstream queues own their bytes.
 func (f *Frame) Clone() *Frame {
-	c := *f
-	c.Data = append([]byte(nil), f.Data...)
-	return &c
+	c := NewFrame()
+	c.Data = append(c.Data, f.Data...)
+	c.Origin = f.Origin
+	c.ID = f.ID
+	return c
 }
 
 // Handler is anything that terminates frames: a switch, a host NIC stack,
@@ -39,6 +46,12 @@ func (f *Frame) Clone() *Frame {
 type Handler interface {
 	// HandleFrame is invoked when a frame fully arrives at ingress.
 	HandleFrame(ingress *Port, f *Frame)
+}
+
+// queued is one egress-queue entry: the frame and its enqueue instant.
+type queued struct {
+	f   *Frame
+	enq sim.Time
 }
 
 // Port is one end of a full-duplex link, with an egress FIFO queue.
@@ -52,8 +65,11 @@ type Port struct {
 
 	sched *sim.Scheduler
 
-	queue      []*Frame
-	queueEnq   []sim.Time
+	// queue is a power-of-two ring buffer: steady-state enqueue/dequeue
+	// moves no memory and allocates nothing.
+	queue      []queued
+	qhead      int
+	qlen       int
 	queuedByte int
 	capBytes   int
 	draining   bool
@@ -94,6 +110,24 @@ func NewPort(sched *sim.Scheduler, owner Handler, name string) *Port {
 	return &Port{Name: name, Owner: owner, sched: sched, capBytes: DefaultQueueBytes}
 }
 
+// NewPorts creates n unconnected ports owned by owner, named
+// baseName/p0..p(n-1). The ports share one backing array — switches create
+// dozens at once, and a single slab is far cheaper for the allocator and
+// the garbage collector than n separate objects.
+func NewPorts(sched *sim.Scheduler, owner Handler, baseName string, n int) []*Port {
+	slab := make([]Port, n)
+	out := make([]*Port, n)
+	for i := range slab {
+		p := &slab[i]
+		p.Name = baseName + "/p" + strconv.Itoa(i)
+		p.Owner = owner
+		p.sched = sched
+		p.capBytes = DefaultQueueBytes
+		out[i] = p
+	}
+	return out
+}
+
 // SetQueueCapacity overrides the egress buffer size in bytes.
 func (p *Port) SetQueueCapacity(bytes int) { p.capBytes = bytes }
 
@@ -122,44 +156,77 @@ func (p *Port) QueuedBytes() int { return p.queuedByte }
 
 // Send enqueues f for transmission. It reports false (and counts a drop)
 // when the egress buffer cannot hold the frame — tail-drop, as in shallow
-// switch buffers. The port takes ownership of the frame.
+// switch buffers. The port takes ownership of the frame in both cases; a
+// dropped pooled frame is released here.
 func (p *Port) Send(f *Frame) bool {
 	if p.peer == nil {
 		panic("netsim: send on unconnected port " + p.Name)
 	}
 	if p.queuedByte+len(f.Data) > p.capBytes {
 		p.Drops++
+		f.Release()
 		return false
 	}
-	p.queue = append(p.queue, f)
-	p.queueEnq = append(p.queueEnq, p.sched.Now())
+	if p.qlen == len(p.queue) {
+		p.growQueue()
+	}
+	p.queue[(p.qhead+p.qlen)&(len(p.queue)-1)] = queued{f, p.sched.Now()}
+	p.qlen++
 	p.queuedByte += len(f.Data)
 	if p.queuedByte > p.QueueHighWaterBytes {
 		p.QueueHighWaterBytes = p.queuedByte
 	}
 	if !p.draining {
 		p.draining = true
-		p.sched.AtPrio(p.sched.Now(), sim.PrioDrain, p.drain)
+		p.sched.AtArgs(p.sched.Now(), sim.PrioDrain, drainPort, p, nil)
 	}
 	return true
 }
+
+// growQueue doubles the ring, unrolling it into insertion order.
+func (p *Port) growQueue() {
+	size := len(p.queue) * 2
+	if size == 0 {
+		size = 16
+	}
+	nq := make([]queued, size)
+	for i := 0; i < p.qlen; i++ {
+		nq[i] = p.queue[(p.qhead+i)&(len(p.queue)-1)]
+	}
+	p.queue = nq
+	p.qhead = 0
+}
+
+// deliverFrame is the arrival callback, scheduled closure-free via AtArgs.
+func deliverFrame(a, b any) {
+	peer := a.(*Port)
+	f := b.(*Frame)
+	peer.RxFrames++
+	peer.RxBytes += uint64(len(f.Data))
+	peer.Owner.HandleFrame(peer, f)
+}
+
+// drainPort is the drain callback, scheduled closure-free via AtArgs (a
+// cached method value would cost one closure allocation per port).
+func drainPort(a, _ any) { a.(*Port).drain() }
 
 // drain transmits the head-of-line frame and reschedules itself until the
 // queue empties. One invocation per frame: the scheduler's clock provides
 // the serialization spacing.
 func (p *Port) drain() {
-	if len(p.queue) == 0 {
+	if p.qlen == 0 {
 		p.draining = false
 		return
 	}
-	f := p.queue[0]
-	enq := p.queueEnq[0]
-	p.queue = p.queue[1:]
-	p.queueEnq = p.queueEnq[1:]
+	ent := p.queue[p.qhead]
+	p.queue[p.qhead] = queued{}
+	p.qhead = (p.qhead + 1) & (len(p.queue) - 1)
+	p.qlen--
+	f := ent.f
 	p.queuedByte -= len(f.Data)
 
 	now := p.sched.Now()
-	p.QueueDelay += now.Sub(enq)
+	p.QueueDelay += now.Sub(ent.enq)
 	if p.Tap != nil {
 		p.Tap(f, now)
 	}
@@ -171,21 +238,16 @@ func (p *Port) drain() {
 	if p.LossProb > 0 && p.sched.Rand().Float64() < p.LossProb {
 		// The frame leaves the port but never arrives.
 		p.Lost++
-		p.sched.AtPrio(now.Add(ser), sim.PrioDrain, p.drain)
+		f.Release()
+		p.sched.AtArgs(now.Add(ser), sim.PrioDrain, drainPort, p, nil)
 		return
 	}
 
-	peer := p.peer
 	delay := ser + p.prop
 	if p.CutThrough {
 		delay = p.prop
 	}
-	arrive := now.Add(delay)
-	p.sched.At(arrive, func() {
-		peer.RxFrames++
-		peer.RxBytes += uint64(len(f.Data))
-		peer.Owner.HandleFrame(peer, f)
-	})
+	p.sched.AtArgs(now.Add(delay), sim.PrioDeliver, deliverFrame, p.peer, f)
 	// Next frame may start once this one's bits have left.
-	p.sched.AtPrio(now.Add(ser), sim.PrioDrain, p.drain)
+	p.sched.AtArgs(now.Add(ser), sim.PrioDrain, drainPort, p, nil)
 }

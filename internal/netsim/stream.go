@@ -24,8 +24,10 @@ type Stream struct {
 	sndUna uint32 // oldest unacknowledged byte
 	rcvNxt uint32 // next byte sequence expected
 
-	unacked []segment
-	rtoEv   *sim.Event
+	unacked  []segment
+	freeBufs [][]byte // retired segment buffers, reused by Write
+	rto      sim.Handle
+	onRTOFn  func() // cached method value: arming the timer never allocates
 
 	// RTO is the retransmission timeout. Intra-colo RTTs are microseconds;
 	// the default is generous without stalling experiments.
@@ -39,8 +41,6 @@ type Stream struct {
 	Retransmits  uint64
 	SentSegments uint64
 	RecvSegments uint64
-
-	scratch []byte
 }
 
 type segment struct {
@@ -51,13 +51,15 @@ type segment struct {
 // NewStream creates a stream endpoint sending from local to remote via nic.
 // The caller routes inbound TCP frames to Deliver (usually via a StreamMux).
 func NewStream(nic *NIC, localPort uint16, remote pkt.UDPAddr) *Stream {
-	return &Stream{
+	s := &Stream{
 		nic:    nic,
 		local:  nic.Addr(localPort),
 		remote: remote,
 		sched:  nic.host.sched,
 		RTO:    200 * sim.Microsecond,
 	}
+	s.onRTOFn = s.onRTO
+	return s
 }
 
 // Local returns the stream's local address.
@@ -76,7 +78,12 @@ func (s *Stream) Write(data []byte) {
 		if n > MSS {
 			n = MSS
 		}
-		seg := segment{seq: s.sndNxt, data: append([]byte(nil), data[:n]...)}
+		var buf []byte
+		if k := len(s.freeBufs); k > 0 {
+			buf = s.freeBufs[k-1][:0]
+			s.freeBufs = s.freeBufs[:k-1]
+		}
+		seg := segment{seq: s.sndNxt, data: append(buf, data[:n]...)}
 		s.unacked = append(s.unacked, seg)
 		s.sndNxt += uint32(n)
 		s.transmit(seg)
@@ -87,30 +94,32 @@ func (s *Stream) Write(data []byte) {
 
 func (s *Stream) transmit(seg segment) {
 	hdr := pkt.TCP{Seq: seg.seq, Ack: s.rcvNxt, Flags: pkt.FlagACK | pkt.FlagPSH}
-	s.scratch = pkt.AppendTCPFrame(s.scratch[:0], s.local, s.remote, &hdr, seg.data)
+	f := NewFrame()
+	f.Data = pkt.AppendTCPFrame(f.Data, s.local, s.remote, &hdr, seg.data)
+	f.Origin = s.sched.Now()
 	s.SentSegments++
-	s.nic.Send(&Frame{Data: append([]byte(nil), s.scratch...), Origin: s.sched.Now()})
+	s.nic.Send(f)
 }
 
 func (s *Stream) sendAck() {
 	hdr := pkt.TCP{Seq: s.sndNxt, Ack: s.rcvNxt, Flags: pkt.FlagACK}
-	s.scratch = pkt.AppendTCPFrame(s.scratch[:0], s.local, s.remote, &hdr, nil)
-	s.nic.Send(&Frame{Data: append([]byte(nil), s.scratch...), Origin: s.sched.Now()})
+	f := NewFrame()
+	f.Data = pkt.AppendTCPFrame(f.Data, s.local, s.remote, &hdr, nil)
+	f.Origin = s.sched.Now()
+	s.nic.Send(f)
 }
 
 func (s *Stream) armRTO() {
-	if s.rtoEv != nil {
-		s.rtoEv.Cancel()
-		s.rtoEv = nil
-	}
+	s.rto.Cancel()
+	s.rto = sim.Handle{}
 	if len(s.unacked) == 0 {
 		return
 	}
-	s.rtoEv = s.sched.After(s.RTO, s.onRTO)
+	s.rto = s.sched.After(s.RTO, s.onRTOFn).Handle()
 }
 
 func (s *Stream) onRTO() {
-	s.rtoEv = nil
+	s.rto = sim.Handle{}
 	if len(s.unacked) == 0 {
 		return
 	}
@@ -133,6 +142,8 @@ func (s *Stream) Deliver(f *pkt.TCPFrame) {
 			for _, seg := range s.unacked {
 				if int32(seg.seq+uint32(len(seg.data))-ack) > 0 {
 					keep = append(keep, seg)
+				} else {
+					s.freeBufs = append(s.freeBufs, seg.data)
 				}
 			}
 			s.unacked = keep
@@ -192,11 +203,17 @@ func (m *StreamMux) handle(nic *NIC, f *Frame) {
 	if err := pkt.ParseTCPFrame(f.Data, &tf); err == nil {
 		key := muxKey{tf.IP.Src, tf.TCP.SrcPort, tf.TCP.DstPort}
 		if s, ok := m.streams[key]; ok {
+			// Deliver consumes the payload synchronously (OnData contracts
+			// say the slice is only valid during the callback), so the frame
+			// terminates here.
 			s.Deliver(&tf)
+			f.Release()
 			return
 		}
 	}
 	if m.Fallback != nil {
 		m.Fallback(nic, f)
+		return
 	}
+	f.Release()
 }

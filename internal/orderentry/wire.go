@@ -206,14 +206,20 @@ func Decode(b []byte, m *Msg) ([]byte, error) {
 // segment boundaries.
 type Framer struct {
 	buf []byte
+	// scratch is the Msg passed to Feed callbacks; hoisting it off the
+	// stack keeps Feed allocation-free (a stack Msg escapes through the
+	// dynamic callback). The pointer is only valid during the callback.
+	scratch Msg
 }
 
-// Feed appends stream bytes and invokes fn for each complete message.
-// It returns a decode error on a malformed stream (the session should then
-// be torn down, as a real gateway would).
+// Feed appends stream bytes and invokes fn for each complete message. The
+// *Msg passed to fn is reused across messages and calls: copy it to retain
+// it. Feed returns a decode error on a malformed stream (the session should
+// then be torn down, as a real gateway would).
 func (f *Framer) Feed(data []byte, fn func(*Msg)) error {
 	f.buf = append(f.buf, data...)
-	var m Msg
+	f.scratch = Msg{}
+	m := &f.scratch
 	for {
 		if len(f.buf) < HeaderLen {
 			return nil
@@ -225,11 +231,11 @@ func (f *Framer) Feed(data []byte, fn func(*Msg)) error {
 		if len(f.buf) < length {
 			return nil // wait for more bytes
 		}
-		rest, err := Decode(f.buf, &m)
+		rest, err := Decode(f.buf, m)
 		if err != nil {
 			return err
 		}
-		fn(&m)
+		fn(m)
 		// Shift: copy is O(n) but messages are tiny and sessions drain
 		// promptly; keeping one buffer avoids per-message allocation.
 		n := copy(f.buf, rest)

@@ -1,0 +1,484 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// --- Fired / Cancel semantics -----------------------------------------------
+
+func TestCancelAfterFireIsNoOp(t *testing.T) {
+	s := NewScheduler(1)
+	fired := false
+	e := s.After(Nanosecond, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+	if !e.Fired() {
+		t.Fatal("Fired() = false after the callback ran")
+	}
+	e.Cancel()
+	if e.Canceled() {
+		t.Fatal("Canceled() = true for an event whose callback ran: Cancel after fire must not rewrite history")
+	}
+	if e.Fired() != true {
+		t.Fatal("Fired() flipped by post-fire Cancel")
+	}
+}
+
+func TestCanceledAndFiredAreMutuallyExclusive(t *testing.T) {
+	s := NewScheduler(1)
+	e := s.After(Nanosecond, func() {})
+	e.Cancel()
+	s.Run()
+	if e.Fired() {
+		t.Fatal("canceled event reports Fired")
+	}
+	if !e.Canceled() {
+		t.Fatal("Canceled() = false after pre-fire Cancel")
+	}
+}
+
+func TestEveryCancelBetweenTicks(t *testing.T) {
+	s := NewScheduler(1)
+	ticks := 0
+	cancel := s.Every(0, Second, func() { ticks++ })
+	s.RunUntil(Time(2500 * Millisecond)) // ticks at 0s, 1s, 2s
+	if ticks != 3 {
+		t.Fatalf("ticks = %d before cancel, want 3", ticks)
+	}
+	// Cancel between ticks: the 3s tick is pending and must be withdrawn.
+	cancel()
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d after between-ticks cancel, want 0", s.Pending())
+	}
+	s.RunUntil(Time(10 * Second))
+	if ticks != 3 {
+		t.Fatalf("ticks = %d after cancel, want 3", ticks)
+	}
+	cancel() // double-cancel is a no-op
+}
+
+func TestEveryCancelBetweenTicksAfterPoolReuse(t *testing.T) {
+	// The pending-tick Event may be recycled for unrelated work once the
+	// ticker is done; a late cancel() must not shoot down the new tenant.
+	s := NewScheduler(1)
+	ticks := 0
+	cancel := s.Every(0, Second, func() { ticks++ })
+	s.RunUntil(Time(1500 * Millisecond)) // ticks at 0s, 1s; next pending at 2s
+	cancel()
+	// Recycle heavily: the ticker's event storage is back in the pool and
+	// will be handed to these schedules.
+	other := 0
+	for i := 0; i < 32; i++ {
+		s.After(Duration(i+1)*Nanosecond, func() { other++ })
+	}
+	cancel() // stale: must not cancel any of the new events
+	s.Run()
+	if other != 32 {
+		t.Fatalf("stale ticker cancel killed %d unrelated events", 32-other)
+	}
+	if ticks != 2 {
+		t.Fatalf("ticks = %d, want 2", ticks)
+	}
+}
+
+func TestStaleHandleCancelIsNoOp(t *testing.T) {
+	s := NewScheduler(1)
+	e := s.After(Nanosecond, func() {})
+	h := e.Handle()
+	s.Run() // fires; storage returns to the pool
+	fired := false
+	e2 := s.After(Nanosecond, func() { fired = true })
+	if e2 != e {
+		t.Fatalf("expected LIFO pool reuse for this test; got distinct events")
+	}
+	if h.Pending() {
+		t.Fatal("stale handle reports Pending")
+	}
+	h.Cancel() // seq mismatch: no-op
+	s.Run()
+	if !fired {
+		t.Fatal("stale Handle.Cancel canceled an unrelated recycled event")
+	}
+}
+
+// --- Reset -------------------------------------------------------------------
+
+func TestSchedulerResetReplaysSeedIdentically(t *testing.T) {
+	workload := func(s *Scheduler) []int64 {
+		var trace []int64
+		var chain func()
+		chain = func() {
+			trace = append(trace, int64(s.Now()))
+			if len(trace) < 200 {
+				jitter := Duration(s.Rand().Intn(5000)) * Nanosecond
+				s.After(jitter+1, chain)
+			}
+		}
+		s.At(0, chain)
+		// Leave some events pending across levels and in overflow so Reset
+		// has real work to do.
+		s.At(Time(500*Second), func() {})
+		s.At(Time(3*Second), func() {})
+		s.RunUntil(Time(Second))
+		return trace
+	}
+	s := NewScheduler(42)
+	first := workload(s)
+	if s.Pending() == 0 {
+		t.Fatal("workload should leave pending events for Reset to clear")
+	}
+	s.Reset(42)
+	if s.Pending() != 0 || s.Now() != 0 || s.Fired() != 0 {
+		t.Fatalf("Reset left state: pending=%d now=%v fired=%d", s.Pending(), s.Now(), s.Fired())
+	}
+	second := workload(s)
+	if len(first) != len(second) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replay diverges at %d: %d vs %d", i, first[i], second[i])
+		}
+	}
+	// And against a virgin scheduler with the same seed.
+	third := workload(NewScheduler(42))
+	for i := range first {
+		if first[i] != third[i] {
+			t.Fatalf("reset scheduler diverges from fresh scheduler at %d", i)
+		}
+	}
+}
+
+// --- Far-future overflow -----------------------------------------------------
+
+func TestOverflowFarFutureEvents(t *testing.T) {
+	// The wheel horizon is 2^48 ps ≈ 281 s; these cross it.
+	s := NewScheduler(1)
+	var order []int
+	s.At(Time(400*Second), func() { order = append(order, 2) })
+	s.At(Time(Second), func() { order = append(order, 1) })
+	s.At(Time(1000*Second), func() { order = append(order, 3) })
+	victim := s.At(Time(800*Second), func() { order = append(order, 99) })
+	victim.Cancel() // overflow removal path
+	end := s.Run()
+	if end != Time(1000*Second) {
+		t.Fatalf("end = %v, want 1000s", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestOverflowSameInstantOrdering(t *testing.T) {
+	s := NewScheduler(1)
+	at := Time(500 * Second) // past the horizon
+	var order []string
+	s.AtPrio(at, PrioDrain, func() { order = append(order, "drain") })
+	s.AtPrio(at, PrioControl, func() { order = append(order, "control") })
+	s.AtPrio(at, PrioDeliver, func() { order = append(order, "a") })
+	s.AtPrio(at, PrioDeliver, func() { order = append(order, "b") })
+	s.Run()
+	want := []string{"control", "a", "b", "drain"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRunUntilAcrossHorizon(t *testing.T) {
+	s := NewScheduler(1)
+	var fired []Time
+	s.At(Time(400*Second), func() { fired = append(fired, s.Now()) })
+	s.At(Time(1000*Second), func() { fired = append(fired, s.Now()) })
+	if end := s.RunUntil(Time(600 * Second)); end != Time(600*Second) {
+		t.Fatalf("RunUntil = %v", end)
+	}
+	if len(fired) != 1 || fired[0] != Time(400*Second) {
+		t.Fatalf("fired = %v", fired)
+	}
+	// Scheduling relative to the jumped clock must still work.
+	s.After(Second, func() { fired = append(fired, s.Now()) })
+	s.Run()
+	if len(fired) != 3 || fired[1] != Time(601*Second) || fired[2] != Time(1000*Second) {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+// --- Wheel vs reference heap property ---------------------------------------
+
+// refSched is a minimal container/heap scheduler implementing the exact
+// (time, prio, seq) contract — the seed implementation distilled.
+type refEvent struct {
+	at   Time
+	prio int
+	seq  uint64
+	fn   func()
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.seq < b.seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+type refSched struct {
+	h   refHeap
+	now Time
+	seq uint64
+}
+
+func (r *refSched) at(t Time, prio int, fn func()) {
+	heap.Push(&r.h, &refEvent{at: t, prio: prio, seq: r.seq, fn: fn})
+	r.seq++
+}
+
+func (r *refSched) run() {
+	for r.h.Len() > 0 {
+		e := heap.Pop(&r.h).(*refEvent)
+		r.now = e.at
+		e.fn()
+	}
+}
+
+type firing struct {
+	at   Time
+	prio int
+	idx  int
+}
+
+// TestWheelMatchesReferenceHeap checks that the timing wheel and a reference
+// binary heap produce identical event orderings for 10k random (time, prio)
+// schedules, across 10 seeds. Times are drawn to stress every placement
+// class: same-instant collisions, every wheel level, and overflow.
+func TestWheelMatchesReferenceHeap(t *testing.T) {
+	const n = 10_000
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		type ev struct {
+			at   Time
+			prio int
+		}
+		evs := make([]ev, n)
+		for i := range evs {
+			var at int64
+			switch rng.Intn(8) {
+			case 0: // level-0 collisions at tiny instants
+				at = rng.Int63n(256)
+			case 1: // straddle the 2^48 ps horizon
+				at = int64(250*Second) + rng.Int63n(int64(100*Second))
+			case 2: // deep overflow
+				at = rng.Int63n(int64(4000 * Second))
+			default: // typical microsecond-scale simulation times
+				at = rng.Int63n(int64(5 * Millisecond))
+			}
+			evs[i] = ev{Time(at), rng.Intn(7) - 3}
+		}
+
+		wheelOrder := make([]firing, 0, n)
+		s := NewScheduler(seed)
+		for i, e := range evs {
+			i := i
+			s.AtPrio(e.at, e.prio, func() {
+				wheelOrder = append(wheelOrder, firing{s.Now(), evs[i].prio, i})
+			})
+		}
+		s.Run()
+
+		heapOrder := make([]firing, 0, n)
+		r := &refSched{}
+		for i, e := range evs {
+			i := i
+			r.at(e.at, e.prio, func() {
+				heapOrder = append(heapOrder, firing{r.now, evs[i].prio, i})
+			})
+		}
+		r.run()
+
+		if len(wheelOrder) != n || len(heapOrder) != n {
+			t.Fatalf("seed %d: fired %d/%d events (want %d)", seed, len(wheelOrder), len(heapOrder), n)
+		}
+		for i := range wheelOrder {
+			if wheelOrder[i] != heapOrder[i] {
+				t.Fatalf("seed %d: orderings diverge at firing %d: wheel %+v, heap %+v",
+					seed, i, wheelOrder[i], heapOrder[i])
+			}
+		}
+	}
+}
+
+// TestWheelMatchesReferenceHeapDynamic repeats the comparison with events
+// scheduled from inside callbacks, so placement happens relative to a moving
+// reference time — the regime real simulations live in.
+func TestWheelMatchesReferenceHeapDynamic(t *testing.T) {
+	const n = 5_000
+	for seed := int64(0); seed < 10; seed++ {
+		// Shared jitter tape so both implementations see identical inputs.
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		jitter := make([]Duration, n)
+		prios := make([]int, n)
+		for i := range jitter {
+			jitter[i] = Duration(rng.Int63n(int64(10 * Microsecond)))
+			prios[i] = rng.Intn(5) - 2
+		}
+
+		runWheel := func() []firing {
+			order := make([]firing, 0, n)
+			s := NewScheduler(seed)
+			var spawn func()
+			spawn = func() {
+				i := len(order)
+				order = append(order, firing{s.Now(), 0, i})
+				if i+1 < n {
+					s.AtPrio(s.Now().Add(jitter[i]), prios[i], spawn)
+				}
+			}
+			s.At(0, spawn)
+			s.Run()
+			return order
+		}
+		runHeap := func() []firing {
+			order := make([]firing, 0, n)
+			r := &refSched{}
+			var spawn func()
+			spawn = func() {
+				i := len(order)
+				order = append(order, firing{r.now, 0, i})
+				if i+1 < n {
+					r.at(r.now.Add(jitter[i]), prios[i], spawn)
+				}
+			}
+			r.at(0, 0, spawn)
+			r.run()
+			return order
+		}
+
+		w, h := runWheel(), runHeap()
+		for i := range w {
+			if w[i] != h[i] {
+				t.Fatalf("seed %d: dynamic orderings diverge at %d: wheel %+v, heap %+v", seed, i, w[i], h[i])
+			}
+		}
+	}
+}
+
+// --- AtArgs ------------------------------------------------------------------
+
+func TestAtArgsDeliversArguments(t *testing.T) {
+	s := NewScheduler(1)
+	type payload struct{ v int }
+	p1, p2 := &payload{1}, &payload{2}
+	var got1, got2 *payload
+	s.AtArgs(Time(Nanosecond), PrioDeliver, func(a, b any) {
+		got1, got2 = a.(*payload), b.(*payload)
+	}, p1, p2)
+	s.AfterArgs(2*Nanosecond, PrioDeliver, func(a, b any) {
+		if a.(*payload) != p2 {
+			t.Error("AfterArgs delivered wrong argument")
+		}
+	}, p2, nil)
+	s.Run()
+	if got1 != p1 || got2 != p2 {
+		t.Fatal("AtArgs did not deliver its arguments")
+	}
+}
+
+// --- Zero-allocation assertions ---------------------------------------------
+
+func TestSchedulerSteadyStateZeroAllocs(t *testing.T) {
+	s := NewScheduler(1)
+	fn := func() {}
+	// Warm the pool.
+	for i := 0; i < 128; i++ {
+		s.After(Duration(i+1)*Nanosecond, fn)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(2000, func() {
+		s.After(Nanosecond, fn)
+		s.step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+fire allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestSchedulerCancelZeroAllocs(t *testing.T) {
+	s := NewScheduler(1)
+	fn := func() {}
+	for i := 0; i < 128; i++ {
+		s.After(Duration(i+1)*Nanosecond, fn)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(2000, func() {
+		s.After(Microsecond, fn).Cancel()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+cancel allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestSchedulerAtArgsZeroAllocs(t *testing.T) {
+	s := NewScheduler(1)
+	var hits int
+	target := &hits
+	fn := func(a, b any) { *(a.(*int))++ }
+	for i := 0; i < 128; i++ {
+		s.AfterArgs(Duration(i+1)*Nanosecond, PrioDeliver, fn, target, nil)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(2000, func() {
+		s.AfterArgs(Nanosecond, PrioDeliver, fn, target, nil)
+		s.step()
+	})
+	if allocs != 0 {
+		t.Fatalf("AtArgs schedule+fire allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// --- Benchmarks --------------------------------------------------------------
+
+// BenchmarkSchedulerSchedule measures raw schedule throughput across mixed
+// wheel levels, draining in batches.
+func BenchmarkSchedulerSchedule(b *testing.B) {
+	s := NewScheduler(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(Duration(i%1000+1)*Nanosecond, fn)
+		if s.Pending() >= 4096 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+// BenchmarkSchedulerCancel measures the schedule+cancel churn path.
+func BenchmarkSchedulerCancel(b *testing.B) {
+	s := NewScheduler(1)
+	fn := func() {}
+	for i := 0; i < 128; i++ {
+		s.After(Duration(i+1)*Nanosecond, fn)
+	}
+	s.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(Microsecond, fn).Cancel()
+	}
+}
