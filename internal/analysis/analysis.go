@@ -1,0 +1,84 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// modeled on golang.org/x/tools/go/analysis, built for the simulator's
+// determinism and hot-path contracts (see DESIGN.md "Determinism contract &
+// simlint"). The module is offline-only, so rather than depending on
+// x/tools it carries the minimal pieces the five simlint analyzers need:
+// an Analyzer/Pass/Diagnostic shape, a package loader driven by
+// `go list -export` (driver.go), and the `//simlint:allow` escape-hatch
+// directive (directive.go).
+//
+// The five analyzers live in subpackages — wallclock, globalrand, maporder,
+// hotalloc, unitmix — and cmd/simlint is the multichecker that runs them
+// over package patterns.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one check: a name (also the key accepted by
+// //simlint:allow directives), one-line documentation, and a Run function
+// applied once per loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// RunAnalyzers applies every analyzer to every package, resolves
+// //simlint:allow directives (suppressing covered findings, reporting
+// unjustified or stale directives), and returns the surviving diagnostics
+// sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+		out = append(out, filterDirectives(pkg, analyzers, raw)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}

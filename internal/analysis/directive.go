@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// The escape hatch: `//simlint:allow <check>: <justification>` suppresses
+// findings from <check>. The justification is mandatory — an allowlist
+// entry nobody can explain is a contract violation waiting to be
+// reintroduced — and a directive that suppresses nothing is reported as
+// stale so the allowlist never outlives the code it excused.
+//
+// Scope: a directive on a finding's line or on the line directly above it
+// covers that line; a directive inside a function's doc comment covers the
+// whole function.
+// Only a comment that begins with the directive counts: prose that merely
+// mentions the syntax (like this paragraph) is not an allowlist entry.
+var directiveRE = regexp.MustCompile(`^//simlint:allow\s+([a-z]+)\b[ \t]*[:—-]*[ \t]*(.*)`)
+
+// directive is one parsed //simlint:allow comment.
+type directive struct {
+	pos       token.Pos
+	line      int // line the comment sits on
+	fromLine  int // first line covered
+	toLine    int // last line covered
+	check     string
+	justified bool
+	used      bool
+}
+
+// collectDirectives parses every //simlint:allow comment in the package.
+func collectDirectives(pkg *Package) []*directive {
+	var out []*directive
+	for _, f := range pkg.Files {
+		// Function-doc directives cover the whole declaration.
+		funcFor := map[*ast.CommentGroup]*ast.FuncDecl{}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+				funcFor[fd.Doc] = fd
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				d := &directive{
+					pos:       c.Pos(),
+					line:      line,
+					check:     m[1],
+					justified: strings.TrimSpace(m[2]) != "",
+				}
+				if fd, ok := funcFor[cg]; ok {
+					d.fromLine = pkg.Fset.Position(fd.Pos()).Line
+					d.toLine = pkg.Fset.Position(fd.End()).Line
+				} else {
+					// Same line, or the line below for a standalone comment.
+					d.fromLine, d.toLine = line, line+1
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// filterDirectives applies the package's allow directives to raw findings:
+// covered findings are dropped, unjustified or stale directives become
+// findings of their own.
+func filterDirectives(pkg *Package, analyzers []*Analyzer, raw []Diagnostic) []Diagnostic {
+	directives := collectDirectives(pkg)
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, d := range raw {
+		line := pkg.Fset.Position(d.Pos).Line
+		suppressed := false
+		for _, dir := range directives {
+			if dir.check == d.Analyzer && dir.fromLine <= line && line <= dir.toLine {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, dir := range directives {
+		if !known[dir.check] {
+			// A directive for an analyzer not in this run: leave it alone so
+			// single-analyzer runs (tests) don't flag other checks' allows.
+			continue
+		}
+		if dir.used && !dir.justified {
+			out = append(out, Diagnostic{
+				Pos:      dir.pos,
+				Message:  "allow directive needs a justification: //simlint:allow " + dir.check + ": <why this is safe>",
+				Analyzer: dir.check,
+			})
+		}
+		if !dir.used {
+			out = append(out, Diagnostic{
+				Pos:      dir.pos,
+				Message:  "stale allow directive: no " + dir.check + " finding here; delete it",
+				Analyzer: dir.check,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+// Package globalrand forbids the package-level math/rand functions. The
+// global source is shared process-wide: with core.RunParallel running
+// replications on concurrent goroutines, draws from it interleave
+// nondeterministically, so any model that touches it stops being a pure
+// function of its seed. All randomness must flow through a seeded
+// *rand.Rand threaded from the scheduler (Scheduler.Rand()) or the
+// replication harness.
+package globalrand
+
+import (
+	"go/ast"
+
+	"tradenet/internal/analysis"
+)
+
+// allowed are the math/rand package-level functions that construct seeded
+// sources rather than draw from the global one.
+var allowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc:  "forbid package-level math/rand draws; thread a seeded *rand.Rand from the sim or replication harness",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || allowed[fn.Name()] {
+				return true
+			}
+			if analysis.IsPkgFunc(fn, "math/rand") || analysis.IsPkgFunc(fn, "math/rand/v2") {
+				pass.Reportf(call.Pos(),
+					"rand.%s draws from the process-global source; use a seeded *rand.Rand (Scheduler.Rand() or the replication harness)", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

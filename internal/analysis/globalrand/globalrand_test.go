@@ -1,0 +1,14 @@
+package globalrand_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tradenet/internal/analysis/analysistest"
+	"tradenet/internal/analysis/globalrand"
+)
+
+func TestGlobalrand(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "globalrand"),
+		"tradenet/internal/fixture", []string{"math/rand", "math/rand/v2"}, globalrand.Analyzer)
+}

@@ -1,0 +1,67 @@
+// Package hotalloc flags closure-literal scheduling on the per-frame path.
+// Scheduler.At(func(){...}) allocates one closure per event; at millions of
+// frames per simulated second that garbage dominates the profile, which is
+// why PR 1 introduced the closure-free AtArgs/AtArgs3 variants (a
+// package-level callback plus boxed pointer arguments — boxing a pointer
+// into any does not allocate). This analyzer keeps the zero-alloc fire
+// path closed: in the hot packages, schedule with AtArgs/AtArgs3/
+// AfterArgs/AfterArgs3; state wider than three words goes in a pooled
+// args struct.
+package hotalloc
+
+import (
+	"go/ast"
+
+	"tradenet/internal/analysis"
+)
+
+// closureMethods are the Scheduler entry points that take a bare func();
+// each has a closure-free AtArgs/AtArgs3 counterpart.
+var closureMethods = map[string]bool{
+	"At": true, "AtPrio": true, "After": true, "AfterPrio": true,
+}
+
+// hotPackages process per-frame or per-order events; setup and experiment
+// harness packages (core, workload, topo) schedule a bounded number of
+// times per run and are exempt.
+var hotPackages = map[string]bool{
+	analysis.ModulePath + "/internal/netsim":     true,
+	analysis.ModulePath + "/internal/device":     true,
+	analysis.ModulePath + "/internal/feed":       true,
+	analysis.ModulePath + "/internal/firm":       true,
+	analysis.ModulePath + "/internal/exchange":   true,
+	analysis.ModulePath + "/internal/orderentry": true,
+}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag closure-capturing Scheduler.At/After on the per-frame path; use the closure-free AtArgs/AtArgs3 variants",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !hotPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if !analysis.IsMethodOf(fn, analysis.SimPath, "Scheduler") || !closureMethods[fn.Name()] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if _, isLit := ast.Unparen(arg).(*ast.FuncLit); isLit {
+					pass.Reportf(arg.Pos(),
+						"closure literal passed to Scheduler.%s allocates per event on a hot path; use AtArgs/AtArgs3 with a package-level callback (pool state wider than three words)", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

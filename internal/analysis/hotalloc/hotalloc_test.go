@@ -1,0 +1,21 @@
+package hotalloc_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tradenet/internal/analysis/analysistest"
+	"tradenet/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "hotalloc"),
+		"tradenet/internal/netsim", []string{"tradenet/internal/sim"}, hotalloc.Analyzer)
+}
+
+// TestColdPackageExempt checks the package gate: closure scheduling under a
+// non-hot import path produces no findings.
+func TestColdPackageExempt(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "hotalloc_cold"),
+		"tradenet/internal/core", []string{"tradenet/internal/sim"}, hotalloc.Analyzer)
+}

@@ -1,0 +1,14 @@
+package maporder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tradenet/internal/analysis/analysistest"
+	"tradenet/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "maporder"),
+		"tradenet/internal/fixture", []string{"sort", "tradenet/internal/sim"}, maporder.Analyzer)
+}

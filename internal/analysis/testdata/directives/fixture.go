@@ -1,0 +1,33 @@
+// Package fixture exercises the //simlint:allow directive machinery: a
+// justified function-scope allow (fully silent), an unjustified line-scope
+// allow (suppresses its finding but is itself reported), and a stale allow
+// (reported because it suppresses nothing). The companion test asserts the
+// exact surviving findings, so this fixture carries no // want comments.
+package fixture
+
+import "time"
+
+// SelfTime is the sanctioned shape: the justified directive in the doc
+// comment covers the whole function.
+//
+//simlint:allow wallclock: measures real host loop cost for a budget comparison
+func SelfTime(n int) time.Duration {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+	return time.Since(start)
+}
+
+// Unjustified suppresses its finding but earns a report for the missing
+// reason.
+func Unjustified() time.Time {
+	//simlint:allow wallclock
+	return time.Now()
+}
+
+// Stale allows a check that never fires here.
+func Stale() int {
+	//simlint:allow wallclock: nothing below reads the clock
+	return 1
+}

@@ -1,0 +1,22 @@
+// Package fixture exercises the globalrand analyzer: no draws from the
+// process-global math/rand sources, v1 or v2.
+package fixture
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+// Bad draws from the shared global sources.
+func Bad() (int, uint64) {
+	n := rand.Intn(10)                 // want `rand\.Intn draws from the process-global source`
+	v := randv2.Uint64()               // want `rand\.Uint64 draws from the process-global source`
+	rand.Shuffle(n, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global source`
+	return n, v
+}
+
+// Good threads a seeded source; the constructors are allowed.
+func Good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}

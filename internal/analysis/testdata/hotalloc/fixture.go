@@ -1,0 +1,23 @@
+// Package fixture is type-checked under a hot import path
+// (tradenet/internal/netsim), so hotalloc treats it as per-frame code.
+package fixture
+
+import "tradenet/internal/sim"
+
+type node struct {
+	sched *sim.Scheduler
+	fires int
+}
+
+// Bad allocates a closure per scheduled event.
+func (n *node) Bad(t sim.Time) {
+	n.sched.At(t, func() { n.fires++ })                   // want `closure literal passed to Scheduler\.At`
+	n.sched.After(5*sim.Nanosecond, func() { n.fires++ }) // want `closure literal passed to Scheduler\.After`
+}
+
+// Good schedules closure-free through the AtArgs variants.
+func (n *node) Good(t sim.Time) {
+	n.sched.AtArgs(t, sim.PrioDeliver, fireArgs, n, nil)
+}
+
+func fireArgs(a, _ any) { a.(*node).fires++ }

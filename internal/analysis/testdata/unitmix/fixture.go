@@ -1,0 +1,30 @@
+// Package fixture exercises the unitmix analyzer: bare numeric literals
+// must not land in unit-typed positions.
+package fixture
+
+import (
+	"tradenet/internal/sim"
+	"tradenet/internal/units"
+)
+
+// hold is a Duration-typed parameter sink.
+func hold(d sim.Duration) sim.Duration { return d }
+
+// link is a Bandwidth-typed parameter sink.
+func link(bw units.Bandwidth) units.Bandwidth { return bw }
+
+// Bad passes and adds raw numbers where unit types are expected.
+func Bad(t sim.Time) sim.Time {
+	hold(1000)           // want `bare numeric literal where Duration is expected`
+	link(40_000_000_000) // want `bare numeric literal where Bandwidth is expected`
+	return t + 500       // want `bare numeric literal added to a Time`
+}
+
+// Good scales by unit constants, converts explicitly, or passes zero.
+func Good(t sim.Time, raw int64) sim.Time {
+	hold(5 * sim.Nanosecond)
+	link(10 * units.Gbps)
+	hold(sim.Duration(raw))
+	hold(0)
+	return t.Add(5 * sim.Nanosecond)
+}

@@ -1,0 +1,22 @@
+// Package fixture exercises the wallclock analyzer: code type-checked under
+// an internal/ import path must not read or wait on the host clock.
+package fixture
+
+import "time"
+
+// Epoch anchors display formatting; constructing times is legal.
+var Epoch = time.Unix(0, 0)
+
+// Bad reads and waits on the wall clock.
+func Bad() time.Time {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	start := time.Now()          // want `time\.Now reads the wall clock`
+	_ = time.Since(start)        // want `time\.Since reads the wall clock`
+	return start
+}
+
+// Good stays within the type and arithmetic parts of package time, which
+// sim.Duration converts through for display.
+func Good(d time.Duration) float64 {
+	return d.Seconds() + Epoch.Sub(Epoch).Seconds()
+}

@@ -1,0 +1,13 @@
+// Package fixture proves wallclock binds only internal/ packages: this file
+// is type-checked under a cmd/ import path, where harnesses may pace
+// against the real world, so nothing here is flagged.
+package fixture
+
+import "time"
+
+// Pace really sleeps and really reads the clock; outside internal/ that is
+// legal.
+func Pace() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

@@ -1,0 +1,145 @@
+// Package unitmix keeps raw numbers out of unit-typed positions. Simulation
+// time is integer picoseconds; a bare literal like At(1000) reads as "1 µs"
+// to someone thinking in nanoseconds but is actually 1 ns, and t+500 is a
+// scale bug waiting to happen. The rule: a value passed or added where
+// sim.Time, sim.Duration, units.Bandwidth, or units.Distance is expected
+// must name a unit constant (5*sim.Nanosecond, 10*units.Gbps,
+// 35*units.Mile) or be zero. Explicit conversions like sim.Duration(x)
+// remain legal — a conversion is a visible, deliberate act.
+package unitmix
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"tradenet/internal/analysis"
+)
+
+// unitTypes are the named types whose scale a bare literal can silently
+// violate.
+var unitTypes = map[[2]string]bool{
+	{analysis.SimPath, "Time"}:        true,
+	{analysis.SimPath, "Duration"}:    true,
+	{analysis.UnitsPath, "Bandwidth"}: true,
+	{analysis.UnitsPath, "Distance"}:  true,
+}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitmix",
+	Doc:  "flag bare numeric literals passed or added where sim.Time/sim.Duration/units.Bandwidth/units.Distance are expected; scale by a unit constant",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.BinaryExpr:
+				checkBinary(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall flags bare nonzero literals in unit-typed argument positions.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if analysis.IsConversion(pass.TypesInfo, call) {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(call.Fun)
+	if t == nil {
+		return
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			pt = sig.Params().At(np - 1).Type()
+			if s, ok := pt.(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if isUnitType(pt) && isBareNonzeroLiteral(pass, arg) {
+			_, name := analysis.NamedType(pt)
+			pass.Reportf(arg.Pos(),
+				"bare numeric literal where %s is expected; scale by a unit constant (e.g. 5*sim.Nanosecond, 10*units.Gbps)", name)
+		}
+	}
+}
+
+// checkBinary flags t+1000 / t-1000 where t is unit-typed. Multiplication
+// is exempt (3*sim.Nanosecond is the idiom), as is any fully constant
+// expression (unit constants are themselves defined that way).
+func checkBinary(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.ADD && b.Op != token.SUB {
+		return
+	}
+	if tv, ok := pass.TypesInfo.Types[b]; ok && tv.Value != nil {
+		return // constant expression: a unit definition, not runtime mixing
+	}
+	check := func(typed, lit ast.Expr) {
+		t := pass.TypesInfo.TypeOf(typed)
+		if t != nil && isUnitType(t) && isBareNonzeroLiteral(pass, lit) {
+			_, name := analysis.NamedType(t)
+			pass.Reportf(lit.Pos(),
+				"bare numeric literal %s a %s; scale by a unit constant (e.g. 5*sim.Nanosecond)", addedOrSubtracted(b.Op), name)
+		}
+	}
+	check(b.X, b.Y)
+	check(b.Y, b.X)
+}
+
+func addedOrSubtracted(op token.Token) string {
+	if op == token.ADD {
+		return "added to"
+	}
+	return "subtracted from"
+}
+
+// isUnitType reports whether t (after unwrapping one pointer) is one of the
+// guarded named types.
+func isUnitType(t types.Type) bool {
+	pkg, name := analysis.NamedType(t)
+	return unitTypes[[2]string{pkg, name}]
+}
+
+// isBareNonzeroLiteral reports whether e is a numeric literal (possibly
+// parenthesized or sign-prefixed) with no named constant anywhere in it,
+// and a value other than zero.
+func isBareNonzeroLiteral(pass *analysis.Pass, e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return isBareNonzeroLiteral(pass, x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.ADD || x.Op == token.SUB {
+			return isBareNonzeroLiteral(pass, x.X)
+		}
+		return false
+	case *ast.BasicLit:
+		if x.Kind != token.INT && x.Kind != token.FLOAT {
+			return false
+		}
+		tv, ok := pass.TypesInfo.Types[x]
+		if ok && tv.Value != nil {
+			return constant.Sign(tv.Value) != 0
+		}
+		return x.Value != "0"
+	}
+	return false
+}

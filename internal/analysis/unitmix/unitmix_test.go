@@ -1,0 +1,15 @@
+package unitmix_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tradenet/internal/analysis/analysistest"
+	"tradenet/internal/analysis/unitmix"
+)
+
+func TestUnitmix(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "unitmix"),
+		"tradenet/internal/fixture",
+		[]string{"tradenet/internal/sim", "tradenet/internal/units"}, unitmix.Analyzer)
+}

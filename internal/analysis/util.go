@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Module path prefixes the analyzers reason about.
+const (
+	// ModulePath is the repo's module path.
+	ModulePath = "tradenet"
+	// SimPath is the simulation kernel package.
+	SimPath = "tradenet/internal/sim"
+	// UnitsPath is the physical-units package.
+	UnitsPath = "tradenet/internal/units"
+	// NetsimPath is the frame-level network model.
+	NetsimPath = "tradenet/internal/netsim"
+	// DevicePath is the switch-device models.
+	DevicePath = "tradenet/internal/device"
+)
+
+// CalleeFunc resolves a call expression to the *types.Func it statically
+// invokes, or nil for dynamic calls (func-typed variables, fields,
+// parameters), conversions, and builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// IsConversion reports whether the call expression is a type conversion.
+func IsConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// IsMethodOf reports whether fn is a method on a (pointer to a) named type
+// declared as pkgPath.typeName.
+func IsMethodOf(fn *types.Func, pkgPath, typeName string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	return ok && named.Obj().Name() == typeName
+}
+
+// IsPkgFunc reports whether fn is the package-level function pkgPath.name
+// (no receiver).
+func IsPkgFunc(fn *types.Func, pkgPath string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// NamedType returns the package path and name of t's core named type,
+// unwrapping one pointer, or ("", "") if t is not named.
+func NamedType(t types.Type) (pkgPath, name string) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", ""
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name()
+}

@@ -1,0 +1,22 @@
+package wallclock_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tradenet/internal/analysis/analysistest"
+	"tradenet/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "wallclock"),
+		"tradenet/internal/fixture", []string{"time"}, wallclock.Analyzer)
+}
+
+// TestExemptOutsideInternal checks the path gate: the same kind of code
+// under a cmd/ import path produces no findings (the fixture has no want
+// comments, so any finding fails the test).
+func TestExemptOutsideInternal(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "wallclock_exempt"),
+		"tradenet/cmd/fixture", []string{"time"}, wallclock.Analyzer)
+}

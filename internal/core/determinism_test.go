@@ -1,0 +1,33 @@
+package core
+
+import "testing"
+
+// Determinism regression tests for the contract DESIGN.md ("Determinism
+// contract & simlint") states: a run is a pure function of its seed, down
+// to the rendered metrics. Wall-clock reads, global-rand draws, or
+// map-iteration order leaking into the event schedule all surface here as
+// flaky diffs — the dynamic complement to the static simlint suite.
+
+// TestSameSeedByteIdentical renders the full three-design comparison twice
+// from one seed and requires byte-identical output. This exercises the
+// whole plant: exchanges, feed arbitration, normalizers, strategies,
+// gateways, and both fabric designs.
+func TestSameSeedByteIdentical(t *testing.T) {
+	sc := SmallScenario()
+	a := RunDesignComparison(sc, 2).String()
+	b := RunDesignComparison(sc, 2).String()
+	if a != b {
+		t.Fatalf("same seed produced different metrics output:\n--- first run\n%s\n--- second run\n%s", a, b)
+	}
+}
+
+// TestMrouteOverflowByteIdentical repeats the check on the experiment most
+// sensitive to multicast-tree installation order (mroute hardware/software
+// placement under table overflow).
+func TestMrouteOverflowByteIdentical(t *testing.T) {
+	a := RunMrouteOverflow(12, 6, 10, 7).String()
+	b := RunMrouteOverflow(12, 6, 10, 7).String()
+	if a != b {
+		t.Fatalf("same seed produced different metrics output:\n--- first run\n%s\n--- second run\n%s", a, b)
+	}
+}

@@ -205,14 +205,20 @@ func RunGroupMapping(partitions, groupBudget, consumers int, seed int64) GroupMa
 			members[groupOf(p)] = append(members[groupOf(p)], p)
 		}
 		var wanted, delivered float64
+		joined := make([]bool, groupBudget)
 		for _, c := range cs {
-			joined := map[int]bool{}
+			for i := range joined {
+				joined[i] = false
+			}
 			for p := 0; p < partitions; p++ {
 				if wants(c, p) {
 					joined[groupOf(p)] = true
 				}
 			}
-			for g := range joined {
+			for g, in := range joined {
+				if !in {
+					continue
+				}
 				for _, p := range members[g] {
 					delivered++
 					if wants(c, p) {

@@ -439,6 +439,8 @@ type BudgetResult struct {
 
 // RunPerEventBudget times the real decode and decode+re-encode paths over n
 // messages and compares them to the §3 budgets.
+//
+//simlint:allow wallclock: deliberately measures real host codec throughput (wall time per message) to compare against the simulated per-event budget; nothing here feeds back into simulated time
 func RunPerEventBudget(n int) BudgetResult {
 	var m feed.Msg
 	m.Type = feed.MsgAddOrder

@@ -57,6 +57,13 @@ type Exchange struct {
 	nextOEPort          uint16
 	// order ownership: exchange order id → originating session + client id.
 	owners map[market.OrderID]ownerRef
+	// byOwner is the reverse index: (session, client id) → live exchange
+	// order id, so cancels and modifies resolve in O(1) instead of scanning
+	// owners in randomized map order.
+	byOwner map[ownerKey]market.OrderID
+	// msgFree pools order-message copies so the match-latency delay path
+	// schedules allocation-free via AfterArgs3.
+	msgFree []*orderentry.Msg
 
 	// Published counts market-data datagrams sent.
 	Published uint64
@@ -73,6 +80,13 @@ type Exchange struct {
 type ownerRef struct {
 	sess     *orderentry.ExchangeSession
 	clientID uint64
+	sym      market.SymbolID
+}
+
+// ownerKey identifies an order from the client's side of the session.
+type ownerKey struct {
+	sess     *orderentry.ExchangeSession
+	clientID uint64
 }
 
 // New creates an exchange over universe u, publishing feed partitions per
@@ -86,6 +100,7 @@ func New(sched *sim.Scheduler, u *market.Universe, pmap *mcast.Map, cfg Config) 
 		books:      make(map[market.SymbolID]*market.Book),
 		partMap:    pmap,
 		owners:     make(map[market.OrderID]ownerRef),
+		byOwner:    make(map[ownerKey]market.OrderID),
 		nextOEPort: OEBasePort,
 	}
 	e.host = netsim.NewHost(sched, cfg.Name)
@@ -166,18 +181,50 @@ func (e *Exchange) AcceptSession(clientAddr pkt.UDPAddr) (*orderentry.ExchangeSe
 
 	sess.Validate = e.validate
 	sess.OnNew = func(m *orderentry.Msg) {
-		req := *m
-		e.sched.After(e.cfg.MatchLatency, func() { e.execNew(sess, &req) })
+		e.sched.AfterArgs3(e.cfg.MatchLatency, sim.PrioDeliver, execNewArgs, e, sess, e.copyMsg(m))
 	}
 	sess.OnCancel = func(m *orderentry.Msg) {
-		req := *m
-		e.sched.After(e.cfg.MatchLatency, func() { e.execCancel(sess, &req) })
+		e.sched.AfterArgs3(e.cfg.MatchLatency, sim.PrioDeliver, execCancelArgs, e, sess, e.copyMsg(m))
 	}
 	sess.OnModify = func(m *orderentry.Msg) {
-		req := *m
-		e.sched.After(e.cfg.MatchLatency, func() { e.execModify(sess, &req) })
+		e.sched.AfterArgs3(e.cfg.MatchLatency, sim.PrioDeliver, execModifyArgs, e, sess, e.copyMsg(m))
 	}
 	return sess, port
+}
+
+// copyMsg snapshots an inbound order message (the session reuses its decode
+// buffer) into a pooled copy that survives the MatchLatency delay.
+func (e *Exchange) copyMsg(m *orderentry.Msg) *orderentry.Msg {
+	var c *orderentry.Msg
+	if n := len(e.msgFree); n > 0 {
+		c = e.msgFree[n-1]
+		e.msgFree = e.msgFree[:n-1]
+	} else {
+		c = new(orderentry.Msg)
+	}
+	*c = *m
+	return c
+}
+
+// execNewArgs, execCancelArgs, and execModifyArgs adapt the engine entry
+// points to the Scheduler's closure-free three-argument callback shape and
+// return the message copy to the pool once the engine is done with it.
+func execNewArgs(a, b, c any) {
+	e, m := a.(*Exchange), c.(*orderentry.Msg)
+	e.execNew(b.(*orderentry.ExchangeSession), m)
+	e.msgFree = append(e.msgFree, m)
+}
+
+func execCancelArgs(a, b, c any) {
+	e, m := a.(*Exchange), c.(*orderentry.Msg)
+	e.execCancel(b.(*orderentry.ExchangeSession), m)
+	e.msgFree = append(e.msgFree, m)
+}
+
+func execModifyArgs(a, b, c any) {
+	e, m := a.(*Exchange), c.(*orderentry.Msg)
+	e.execModify(b.(*orderentry.ExchangeSession), m)
+	e.msgFree = append(e.msgFree, m)
 }
 
 func (e *Exchange) validate(m *orderentry.Msg) orderentry.RejectReason {
@@ -199,7 +246,8 @@ func (e *Exchange) execNew(sess *orderentry.ExchangeSession, m *orderentry.Msg) 
 	}
 	e.nextExchangeOrderID++
 	exID := e.nextExchangeOrderID
-	e.owners[exID] = ownerRef{sess: sess, clientID: m.OrderID}
+	e.owners[exID] = ownerRef{sess: sess, clientID: m.OrderID, sym: m.Symbol}
+	e.byOwner[ownerKey{sess: sess, clientID: m.OrderID}] = exID
 	sess.Ack(m.OrderID, uint64(exID))
 
 	book := e.Book(m.Symbol)
@@ -225,7 +273,15 @@ func (e *Exchange) execCancel(sess *orderentry.ExchangeSession, m *orderentry.Ms
 	e.publish(sym, &feed.Msg{
 		Type: feed.MsgDeleteOrder, TimeNs: e.timeNs(), OrderID: uint64(exID),
 	})
-	delete(e.owners, exID)
+	e.dropOwner(exID)
+}
+
+// dropOwner removes a dead order from both ownership indexes.
+func (e *Exchange) dropOwner(exID market.OrderID) {
+	if ref, ok := e.owners[exID]; ok {
+		delete(e.byOwner, ownerKey{sess: ref.sess, clientID: ref.clientID})
+		delete(e.owners, exID)
+	}
 }
 
 func (e *Exchange) execModify(sess *orderentry.ExchangeSession, m *orderentry.Msg) {
@@ -248,28 +304,20 @@ func (e *Exchange) execModify(sess *orderentry.ExchangeSession, m *orderentry.Ms
 	e.reportFills(m.Symbol, fills)
 }
 
-// findOrder maps a (session, client id) to a live exchange order id. Linear
-// in open orders per call only for cancels/modifies, which is acceptable at
-// simulation scale.
+// findOrder maps a (session, client id) to a live exchange order id.
 func (e *Exchange) findOrder(sess *orderentry.ExchangeSession, clientID uint64) (market.OrderID, bool) {
-	for exID, ref := range e.owners {
-		if ref.sess == sess && ref.clientID == clientID {
-			return exID, true
-		}
-	}
-	return 0, false
+	exID, ok := e.byOwner[ownerKey{sess: sess, clientID: clientID}]
+	return exID, ok
 }
 
-// orderSymbol finds which book holds exID. Exchange order ids are unique
-// across symbols, so scan the books.
+// orderSymbol returns the symbol an order was entered on; ownership records
+// it at accept time, so no book scan is needed. Symbol 1 is the
+// deterministic fallback for orders that already left ownership (the
+// publisher only needs a partition).
 func (e *Exchange) orderSymbol(exID market.OrderID) market.SymbolID {
-	for sym, b := range e.books {
-		if _, ok := b.Lookup(exID); ok {
-			return sym
-		}
+	if ref, ok := e.owners[exID]; ok {
+		return ref.sym
 	}
-	// Already removed from the book: fall back to scanning owners (the
-	// publisher only needs a partition; symbol 1 routes deterministically).
 	return 1
 }
 
@@ -282,14 +330,14 @@ func (e *Exchange) reportFills(sym market.SymbolID, fills []market.Fill) {
 				ref.sess.Fill(ref.clientID, fl.Qty, fl.Price)
 				// Remove fully filled resting orders from ownership.
 				if _, live := e.Book(sym).Lookup(oid); !live {
-					delete(e.owners, oid)
+					e.dropOwner(oid)
 				}
 			}
 		}
 		if ref, ok := e.owners[marketIncoming(fl)]; ok {
 			ref.sess.Fill(ref.clientID, fl.Qty, fl.Price)
 			if _, live := e.Book(sym).Lookup(marketIncoming(fl)); !live {
-				delete(e.owners, marketIncoming(fl))
+				e.dropOwner(marketIncoming(fl))
 			}
 		}
 		e.publish(sym, &feed.Msg{

@@ -330,25 +330,31 @@ func (a *Arbiter) deliver(dgram []byte, h UnitHeader, fn func(*Msg)) error {
 func (a *Arbiter) drain(fn func(*Msg)) error {
 	for {
 		var found []byte
+		var foundKey uint32
 		var fh UnitHeader
+		// The scan below is a pure reduction: stale entries are dropped
+		// wherever they appear, and among deliverable candidates the lowest
+		// starting sequence wins, so the outcome is independent of the order
+		// the map yields its entries in.
+		//simlint:allow maporder: full-scan min-reduction (lowest h.Seq wins, stale entries deleted unconditionally); result does not depend on iteration order
 		for seq, d := range a.pending {
 			var h UnitHeader
 			if _, err := DecodeUnitHeader(d, &h); err != nil {
 				delete(a.pending, seq)
 				continue
 			}
-			if h.Seq <= a.nextSeq && h.Seq+uint32(h.Count) > a.nextSeq {
-				found, fh = d, h
-				delete(a.pending, seq)
-				break
-			}
 			if h.Seq+uint32(h.Count) <= a.nextSeq {
 				delete(a.pending, seq) // became stale
+				continue
+			}
+			if h.Seq <= a.nextSeq && (found == nil || h.Seq < fh.Seq) {
+				found, foundKey, fh = d, seq, h
 			}
 		}
 		if found == nil {
 			return nil
 		}
+		delete(a.pending, foundKey)
 		if err := a.deliver(found, fh, fn); err != nil {
 			return err
 		}
@@ -360,6 +366,7 @@ func (a *Arbiter) drain(fn func(*Msg)) error {
 func (a *Arbiter) declareLoss() {
 	var lo uint32
 	first := true
+	//simlint:allow maporder: pure min-reduction over held sequence numbers; result does not depend on iteration order
 	for seq := range a.pending {
 		if first || seq < lo {
 			lo, first = seq, false

@@ -44,6 +44,12 @@ type Gateway struct {
 
 	nextPort uint16
 
+	// respFree and relayFree pool the argument structs the translate-latency
+	// delay paths carry, so both directions schedule allocation-free via
+	// AfterArgs.
+	respFree  []*response
+	relayFree []*relayReq
+
 	// Stats.
 	Relayed   uint64
 	Responses uint64
@@ -52,6 +58,35 @@ type Gateway struct {
 type clientRef struct {
 	sess *orderentry.ExchangeSession
 	id   uint64
+}
+
+// respKind selects which session callback a delayed exchange response
+// invokes on delivery.
+type respKind uint8
+
+const (
+	respAck respKind = iota
+	respFill
+	respReject
+	respCancelAck
+	respCancelReject
+)
+
+// response carries one exchange response across the TranslateLatency delay.
+type response struct {
+	ref    clientRef
+	kind   respKind
+	exID   uint64
+	qty    market.Qty
+	price  market.Price
+	reason orderentry.RejectReason
+}
+
+// relayReq carries one inbound strategy request across the TranslateLatency
+// delay.
+type relayReq struct {
+	sess *orderentry.ExchangeSession
+	m    orderentry.Msg
 }
 
 // NewGateway builds a gateway host. Its exchange side is connected later
@@ -90,19 +125,19 @@ func (g *Gateway) ConnectExchange(localPort uint16, exchangeAddr pkt.UDPAddr) {
 		g.exchIDs[exID] = exchOrderID
 	}
 	g.exSession.OnAck = func(exID uint64) {
-		g.respond(exID, func(ref clientRef) { ref.sess.Ack(ref.id, g.exchIDs[exID]) })
+		g.respond(exID, respAck, 0, 0, orderentry.RejectNone)
 	}
 	g.exSession.OnFill = func(exID uint64, qty market.Qty, price market.Price, done bool) {
-		g.respond(exID, func(ref clientRef) { ref.sess.Fill(ref.id, qty, price) })
+		g.respond(exID, respFill, qty, price, orderentry.RejectNone)
 	}
 	g.exSession.OnReject = func(exID uint64, r orderentry.RejectReason) {
-		g.respond(exID, func(ref clientRef) { ref.sess.Reject(ref.id, r) })
+		g.respond(exID, respReject, 0, 0, r)
 	}
 	g.exSession.OnCancelAck = func(exID uint64) {
-		g.respond(exID, func(ref clientRef) { ref.sess.CancelAck(ref.id) })
+		g.respond(exID, respCancelAck, 0, 0, orderentry.RejectNone)
 	}
 	g.exSession.OnCancelReject = func(exID uint64) {
-		g.respond(exID, func(ref clientRef) { ref.sess.CancelReject(ref.id) })
+		g.respond(exID, respCancelReject, 0, 0, orderentry.RejectNone)
 	}
 	g.exSession.Logon()
 }
@@ -110,13 +145,43 @@ func (g *Gateway) ConnectExchange(localPort uint16, exchangeAddr pkt.UDPAddr) {
 // ExchangeSession returns the exchange-facing session (nil before connect).
 func (g *Gateway) ExchangeSession() *orderentry.ClientSession { return g.exSession }
 
-func (g *Gateway) respond(exID uint64, fn func(clientRef)) {
+func (g *Gateway) respond(exID uint64, kind respKind, qty market.Qty, price market.Price, reason orderentry.RejectReason) {
 	ref, ok := g.byExID[exID]
 	if !ok {
 		return
 	}
 	g.Responses++
-	g.sched.After(g.cfg.TranslateLatency, func() { fn(ref) })
+	var r *response
+	if n := len(g.respFree); n > 0 {
+		r = g.respFree[n-1]
+		g.respFree = g.respFree[:n-1]
+	} else {
+		r = new(response)
+	}
+	*r = response{ref: ref, kind: kind, exID: exID, qty: qty, price: price, reason: reason}
+	g.sched.AfterArgs(g.cfg.TranslateLatency, sim.PrioDeliver, deliverResponseArgs, g, r)
+}
+
+// deliverResponseArgs adapts deliverResponse to the Scheduler's closure-free
+// two-argument callback shape.
+func deliverResponseArgs(a, b any) { a.(*Gateway).deliverResponse(b.(*response)) }
+
+func (g *Gateway) deliverResponse(r *response) {
+	ref := r.ref
+	switch r.kind {
+	case respAck:
+		ref.sess.Ack(ref.id, g.exchIDs[r.exID])
+	case respFill:
+		ref.sess.Fill(ref.id, r.qty, r.price)
+	case respReject:
+		ref.sess.Reject(ref.id, r.reason)
+	case respCancelAck:
+		ref.sess.CancelAck(ref.id)
+	case respCancelReject:
+		ref.sess.CancelReject(ref.id)
+	}
+	*r = response{}
+	g.respFree = append(g.respFree, r)
 }
 
 // AcceptStrategy provisions an internal session endpoint for a strategy at
@@ -130,40 +195,70 @@ func (g *Gateway) AcceptStrategy(clientAddr pkt.UDPAddr) uint16 {
 	g.inMux.Register(stream)
 
 	sess.OnNew = func(m *orderentry.Msg) {
-		req := *m
-		g.sched.After(g.cfg.TranslateLatency, func() {
-			g.nextExID++
-			exID := g.nextExID
-			ref := clientRef{sess: sess, id: req.OrderID}
-			g.byExID[exID] = ref
-			g.toExID[ref] = exID
-			g.Relayed++
-			g.exSession.NewOrder(exID, req.Symbol, req.Side, req.Price, req.Qty)
-		})
+		g.sched.AfterArgs(g.cfg.TranslateLatency, sim.PrioDeliver, relayNewArgs, g, g.copyReq(sess, m))
 	}
 	sess.OnCancel = func(m *orderentry.Msg) {
-		req := *m
-		g.sched.After(g.cfg.TranslateLatency, func() {
-			ref := clientRef{sess: sess, id: req.OrderID}
-			if exID, ok := g.toExID[ref]; ok {
-				g.Relayed++
-				g.exSession.Cancel(exID)
-			} else {
-				sess.CancelReject(req.OrderID)
-			}
-		})
+		g.sched.AfterArgs(g.cfg.TranslateLatency, sim.PrioDeliver, relayCancelArgs, g, g.copyReq(sess, m))
 	}
 	sess.OnModify = func(m *orderentry.Msg) {
-		req := *m
-		g.sched.After(g.cfg.TranslateLatency, func() {
-			ref := clientRef{sess: sess, id: req.OrderID}
-			if exID, ok := g.toExID[ref]; ok {
-				g.Relayed++
-				g.exSession.Modify(exID, req.Price, req.Qty)
-			} else {
-				sess.CancelReject(req.OrderID)
-			}
-		})
+		g.sched.AfterArgs(g.cfg.TranslateLatency, sim.PrioDeliver, relayModifyArgs, g, g.copyReq(sess, m))
 	}
 	return port
+}
+
+// copyReq snapshots an inbound request (the session reuses its decode
+// buffer) into a pooled relayReq that survives the TranslateLatency delay.
+func (g *Gateway) copyReq(sess *orderentry.ExchangeSession, m *orderentry.Msg) *relayReq {
+	var r *relayReq
+	if n := len(g.relayFree); n > 0 {
+		r = g.relayFree[n-1]
+		g.relayFree = g.relayFree[:n-1]
+	} else {
+		r = new(relayReq)
+	}
+	r.sess, r.m = sess, *m
+	return r
+}
+
+// relayNewArgs, relayCancelArgs, and relayModifyArgs adapt the relay paths
+// to the Scheduler's closure-free two-argument callback shape.
+func relayNewArgs(a, b any) {
+	g, r := a.(*Gateway), b.(*relayReq)
+	g.nextExID++
+	exID := g.nextExID
+	ref := clientRef{sess: r.sess, id: r.m.OrderID}
+	g.byExID[exID] = ref
+	g.toExID[ref] = exID
+	g.Relayed++
+	g.exSession.NewOrder(exID, r.m.Symbol, r.m.Side, r.m.Price, r.m.Qty)
+	g.releaseReq(r)
+}
+
+func relayCancelArgs(a, b any) {
+	g, r := a.(*Gateway), b.(*relayReq)
+	ref := clientRef{sess: r.sess, id: r.m.OrderID}
+	if exID, ok := g.toExID[ref]; ok {
+		g.Relayed++
+		g.exSession.Cancel(exID)
+	} else {
+		r.sess.CancelReject(r.m.OrderID)
+	}
+	g.releaseReq(r)
+}
+
+func relayModifyArgs(a, b any) {
+	g, r := a.(*Gateway), b.(*relayReq)
+	ref := clientRef{sess: r.sess, id: r.m.OrderID}
+	if exID, ok := g.toExID[ref]; ok {
+		g.Relayed++
+		g.exSession.Modify(exID, r.m.Price, r.m.Qty)
+	} else {
+		r.sess.CancelReject(r.m.OrderID)
+	}
+	g.releaseReq(r)
+}
+
+func (g *Gateway) releaseReq(r *relayReq) {
+	r.sess, r.m = nil, orderentry.Msg{}
+	g.relayFree = append(g.relayFree, r)
 }

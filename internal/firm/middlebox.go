@@ -32,6 +32,12 @@ type Middlebox struct {
 	reasm    map[uint8]*feed.Reassembler
 	ipID     uint16
 	busy     sim.Time
+	// flushQ holds the origins of flushes scheduled but not yet fired, in
+	// schedule order. busy is monotonically non-decreasing, so the scheduler
+	// fires the flush events in exactly this order — a FIFO queue lets the
+	// closure-free callback recover each flush's origin without boxing a
+	// sim.Time (a non-pointer) into any, which would allocate per event.
+	flushQ []sim.Time
 
 	// Stats.
 	Examined  uint64
@@ -115,7 +121,21 @@ func (mb *Middlebox) onFrame(_ *netsim.NIC, f *netsim.Frame) {
 	if kept == 0 {
 		return
 	}
-	mb.sched.At(mb.busy, func() { mb.flush(origin) })
+	mb.flushQ = append(mb.flushQ, origin)
+	mb.sched.AtArgs(mb.busy, sim.PrioDeliver, flushHeadArgs, mb, nil)
+}
+
+// flushHeadArgs adapts the queued flush to the Scheduler's closure-free
+// two-argument callback shape.
+func flushHeadArgs(a, _ any) {
+	mb := a.(*Middlebox)
+	origin := mb.flushQ[0]
+	if len(mb.flushQ) == 1 {
+		mb.flushQ = mb.flushQ[:0] // reuse the backing array once drained
+	} else {
+		mb.flushQ = mb.flushQ[1:]
+	}
+	mb.flush(origin)
 }
 
 func (mb *Middlebox) flush(origin sim.Time) {

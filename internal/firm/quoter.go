@@ -204,10 +204,15 @@ func (q *Quoter) maybeReprice() {
 		return
 	}
 	q.pendingReprice = true
-	q.sched.After(q.cfg.DecisionLatency, func() {
-		q.pendingReprice = false
-		q.reprice()
-	})
+	q.sched.AfterArgs(q.cfg.DecisionLatency, sim.PrioDeliver, fireRepriceArgs, q, nil)
+}
+
+// fireRepriceArgs adapts the delayed reprice to the Scheduler's closure-free
+// two-argument callback shape.
+func fireRepriceArgs(a, _ any) {
+	q := a.(*Quoter)
+	q.pendingReprice = false
+	q.reprice()
 }
 
 // reprice establishes or moves the two-sided quote to the current mid.

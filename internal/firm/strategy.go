@@ -42,10 +42,19 @@ type Strategy struct {
 
 	books map[market.SymbolID]*market.Book
 	reasm map[uint8]*feed.Reassembler
+	// byOrder indexes live orders to the book holding them (exchange order
+	// ids are unique across symbols), so delete/modify/execute messages —
+	// which carry no symbol — resolve in O(1) instead of scanning the books
+	// map, whose iteration order is randomized per run.
+	byOrder map[uint64]*market.Book
 
 	session *orderentry.ClientSession
 	stream  *netsim.Stream
 	nextOID uint64
+
+	// decFree pools pendingDecision values so the decision path schedules
+	// allocation-free via AtArgs.
+	decFree []*pendingDecision
 
 	// Probe measures decision latency (order-out minus last md-in) using
 	// frame origin timestamps — the §2 measurement.
@@ -67,11 +76,12 @@ type Strategy struct {
 func NewStrategy(sched *sim.Scheduler, u *market.Universe, name string, hostID uint32,
 	outMap *mcast.Map, cfg StrategyConfig) *Strategy {
 	s := &Strategy{
-		cfg:   cfg,
-		sched: sched,
-		u:     u,
-		books: make(map[market.SymbolID]*market.Book),
-		reasm: make(map[uint8]*feed.Reassembler),
+		cfg:     cfg,
+		sched:   sched,
+		u:       u,
+		books:   make(map[market.SymbolID]*market.Book),
+		reasm:   make(map[uint8]*feed.Reassembler),
+		byOrder: make(map[uint64]*market.Book),
 	}
 	s.host = netsim.NewHost(sched, name)
 	s.mdNIC = s.host.AddNIC("md", hostID)
@@ -163,32 +173,38 @@ func (s *Strategy) apply(m *feed.Msg, origin sim.Time) {
 				Price:  market.Price(m.Price),
 				Qty:    market.Qty(m.Qty),
 			})
+			s.byOrder[m.OrderID] = book
 		}
 	case feed.MsgDeleteOrder:
-		for _, b := range s.books {
+		if b, ok := s.byOrder[m.OrderID]; ok {
 			if b.Cancel(market.OrderID(m.OrderID)) {
 				book = b
-				break
 			}
+			delete(s.byOrder, m.OrderID)
 		}
 	case feed.MsgReduceSize, feed.MsgOrderExecuted:
-		for _, b := range s.books {
-			if o, ok := b.Lookup(market.OrderID(m.OrderID)); ok {
+		if b, ok := s.byOrder[m.OrderID]; ok {
+			if o, live := b.Lookup(market.OrderID(m.OrderID)); live {
 				rem := o.Qty - market.Qty(m.Qty)
 				if rem < 0 {
 					rem = 0
 				}
 				b.Modify(market.OrderID(m.OrderID), o.Price, rem)
 				book = b
-				break
+				if rem == 0 {
+					delete(s.byOrder, m.OrderID)
+				}
 			}
 		}
 	case feed.MsgModifyOrder:
-		for _, b := range s.books {
-			if _, ok := b.Lookup(market.OrderID(m.OrderID)); ok {
+		if b, ok := s.byOrder[m.OrderID]; ok {
+			if _, live := b.Lookup(market.OrderID(m.OrderID)); live {
 				b.Modify(market.OrderID(m.OrderID), market.Price(m.Price), market.Qty(m.Qty))
 				book = b
-				break
+				if _, still := b.Lookup(market.OrderID(m.OrderID)); !still {
+					// Fully traded on re-entry: drop the index entry.
+					delete(s.byOrder, m.OrderID)
+				}
 			}
 		}
 	}
@@ -200,25 +216,56 @@ func (s *Strategy) apply(m *feed.Msg, origin sim.Time) {
 		return
 	}
 	s.LastTriggerOrigin = origin
-	s.sched.After(s.cfg.DecisionLatency, func() {
-		sym := book.Symbol()
-		sendPrice := price
-		if s.cfg.Gate != nil {
-			p, ok := s.cfg.Gate(sym, side, price)
-			if !ok {
-				s.Gated++
-				return
-			}
-			if p != price {
-				s.Repriced++
-			}
-			sendPrice = p
+	d := s.getDecision()
+	d.book, d.price, d.qty, d.side = book, price, qty, side
+	s.sched.AfterArgs(s.cfg.DecisionLatency, sim.PrioDeliver, fireDecisionArgs, s, d)
+}
+
+// pendingDecision carries one trigger's order parameters from trigger time
+// to fire time (one DecisionLatency later) without allocating a closure.
+type pendingDecision struct {
+	book  *market.Book
+	price market.Price
+	qty   market.Qty
+	side  market.Side
+}
+
+func (s *Strategy) getDecision() *pendingDecision {
+	if n := len(s.decFree); n > 0 {
+		d := s.decFree[n-1]
+		s.decFree = s.decFree[:n-1]
+		return d
+	}
+	return &pendingDecision{}
+}
+
+// fireDecisionArgs adapts fireDecision to the Scheduler's closure-free
+// two-argument callback shape.
+func fireDecisionArgs(a, b any) { a.(*Strategy).fireDecision(b.(*pendingDecision)) }
+
+// fireDecision sends (or gates) the order decided one DecisionLatency ago.
+func (s *Strategy) fireDecision(d *pendingDecision) {
+	book, price, qty, side := d.book, d.price, d.qty, d.side
+	*d = pendingDecision{}
+	s.decFree = append(s.decFree, d)
+
+	sym := book.Symbol()
+	sendPrice := price
+	if s.cfg.Gate != nil {
+		p, ok := s.cfg.Gate(sym, side, price)
+		if !ok {
+			s.Gated++
+			return
 		}
-		s.nextOID++
-		s.session.NewOrder(s.nextOID, sym, side, sendPrice, qty)
-		s.OrdersSent++
-		s.Probe.Order(s.sched.Now())
-	})
+		if p != price {
+			s.Repriced++
+		}
+		sendPrice = p
+	}
+	s.nextOID++
+	s.session.NewOrder(s.nextOID, sym, side, sendPrice, qty)
+	s.OrdersSent++
+	s.Probe.Order(s.sched.Now())
 }
 
 func (s *Strategy) trigger(m *feed.Msg, book *market.Book, preBBO market.BBO) (market.Price, market.Qty, market.Side, bool) {

@@ -2,6 +2,7 @@ package topo
 
 import (
 	"fmt"
+	"sort"
 
 	"tradenet/internal/device"
 	"tradenet/internal/netsim"
@@ -210,7 +211,15 @@ func (t *LeafSpine) installGroup(group pkt.IP4) bool {
 			inHW = false
 		}
 	}
+	// Install spine branches in leaf order, not map order: mroute insertion
+	// order decides which entries land in hardware when the table overflows,
+	// so iteration order is placement-visible.
+	var memberLeaves []int
 	for l := range members {
+		memberLeaves = append(memberLeaves, l)
+	}
+	sort.Ints(memberLeaves)
+	for _, l := range memberLeaves {
 		if !t.Spines[spine].JoinGroup(group, l) {
 			inHW = false
 		}

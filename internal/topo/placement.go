@@ -1,6 +1,9 @@
 package topo
 
-import "math/rand"
+import (
+	"math/rand"
+	"sort"
+)
 
 // Placement machinery for the §4.1 remark ("we could try to reduce switch
 // hops by placing servers in more optimal ways, but ... the distribution of
@@ -100,9 +103,14 @@ func (pp *PlacementProblem) Feasible(p Placement) bool {
 func (pp *PlacementProblem) FunctionGrouped() Placement {
 	p := make(Placement, len(pp.Components))
 	counts := make([]int, pp.Racks)
-	for i, r := range pp.Pinned {
-		p[i] = r
-		counts[r]++
+	var pinned []int
+	for i := range pp.Pinned {
+		pinned = append(pinned, i)
+	}
+	sort.Ints(pinned)
+	for _, i := range pinned {
+		p[i] = pp.Pinned[i]
+		counts[pp.Pinned[i]]++
 	}
 	rack := 0
 	advance := func() {
