@@ -339,3 +339,18 @@ func BenchmarkStaleQuotes(b *testing.B) {
 	b.ReportMetric(float64(r.Rows[0].StaleFills), "fast-pickoffs")
 	b.ReportMetric(float64(r.Rows[1].StaleFills), "slow-pickoffs")
 }
+
+// BenchmarkFailover (E19) kills a spine under the Design 1 plant and a WAN
+// microwave path under a feed, both mid-burst, and reports the blackhole
+// and recovery headline numbers.
+func BenchmarkFailover(b *testing.B) {
+	var r core.FailoverReport
+	for i := 0; i < b.N; i++ {
+		r = core.RunFailover(core.SmallScenario(), core.Seeds(1, 1))
+	}
+	run := r.Runs[0]
+	b.ReportMetric(float64(run.Spine.Blackholed), "spine-blackholed-frames")
+	b.ReportMetric(run.Spine.TimeToRecovery.Microseconds(), "spine-ttr-µs")
+	b.ReportMetric(float64(run.WAN.Recovered), "wan-replayed-msgs")
+	b.ReportMetric(run.WAN.TimeToRecovery.Microseconds(), "wan-ttr-µs")
+}

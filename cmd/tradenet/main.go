@@ -33,6 +33,7 @@
 //	corepin     A7  — core isolation vs shared cores (Fig. 1d)
 //	genrt       E8b — Design 1 round trip across switch generations
 //	stalequotes E18 — the cost of latency: repricing races an aggressor
+//	failover    E19 — deterministic fault injection: spine kill + WAN outage
 //
 // Pass -csv <dir> to also export the Figure 2 data series as CSV.
 package main
@@ -117,11 +118,13 @@ func main() {
 				10 * sim.Microsecond, 20 * sim.Microsecond, 50 * sim.Microsecond}
 			fmt.Println(core.RunStaleQuotes(lats, 20, 15*sim.Microsecond, *seed))
 		},
+		"failover": func() { fmt.Println(core.RunFailover(sc, core.Seeds(*seed, *reps))) },
 	}
 	order := []string{"table1", "fig2a", "fig2b", "fig2c", "designs", "mroute",
 		"generations", "merge", "overhead", "partitions", "budget", "wan",
 		"filtermerge", "placement", "groupmap", "timestamps", "filterplace",
-		"dualpath", "correlated", "colocation", "metronbbo", "genrt", "corepin", "stalequotes"}
+		"dualpath", "correlated", "colocation", "metronbbo", "genrt", "corepin",
+		"stalequotes", "failover"}
 
 	if *experiment == "all" {
 		for _, id := range order {

@@ -9,6 +9,7 @@ import (
 	"tradenet/internal/firm"
 	"tradenet/internal/market"
 	"tradenet/internal/mcast"
+	"tradenet/internal/netsim"
 	"tradenet/internal/orderentry"
 	"tradenet/internal/sim"
 	"tradenet/internal/topo"
@@ -29,6 +30,12 @@ type Design1 struct {
 
 	RawMap *mcast.Map
 	OutMap *mcast.Map
+
+	// RecReaders parse gap-replay responses, one per normalizer (nil before
+	// WireGapRecovery); their Recovered counters tally replayed messages.
+	RecReaders []*feed.ResponseReader
+	// GapRequests counts replay requests normalizers sent to the exchange.
+	GapRequests uint64
 }
 
 // hostIDs: the exchange uses 100+, normalizers 1000+, strategies 10000+,
@@ -92,7 +99,7 @@ func NewDesign1(sc Scenario, switchCfg device.CommoditySwitchConfig) *Design1 {
 	for i := 0; i < sc.Strategies; i++ {
 		subs := subscriptionSlice(i, sc.InternalPartitions)
 		s := firm.NewStrategy(d.Sched, d.U, fmt.Sprintf("strat%d", i), uint32(idStrategy+2*i),
-			d.OutMap, firm.StrategyConfig{DecisionLatency: sc.FnLatency, Subscriptions: subs})
+			d.OutMap, firm.StrategyConfig{DecisionLatency: sc.FnLatency, Subscriptions: subs, PullOnGap: sc.PullOnGap})
 		leaf := 2 + i/perRack
 		d.LS.Attach(leaf, s.MDNIC())
 		d.LS.Attach(leaf, s.OENIC())
@@ -131,6 +138,30 @@ func (d *Design1) wireSessions() {
 		g := d.Gws[i%len(d.Gws)]
 		gwPort := g.AcceptStrategy(s.OENIC().Addr(uint16(42000 + i)))
 		s.ConnectGateway(uint16(42000+i), g.InNIC().Addr(gwPort))
+	}
+}
+
+// WireGapRecovery dials a gap-recovery stream from every normalizer to the
+// exchange's replay service (over the fabric, on the normalizer's pub NIC)
+// and hangs replay requests off the normalizers' gap handlers. Recovered
+// messages re-enter the normalize path and are re-sequenced onto the
+// internal feed — downstream consumers see late data instead of lost data,
+// which is exactly the §2 sequenced-feed recovery contract.
+func (d *Design1) WireGapRecovery() {
+	for i, n := range d.Norms {
+		n := n
+		mux := netsim.NewStreamMux(n.PubNIC())
+		localPort := uint16(46000 + i)
+		exPort := d.Ex.AcceptRecoverySession(n.PubNIC().Addr(localPort))
+		st := netsim.NewStream(n.PubNIC(), localPort, d.Ex.OENIC().Addr(exPort))
+		mux.Register(st)
+		rr := &feed.ResponseReader{}
+		st.OnData = func(b []byte) { _ = rr.Read(b, n.ConsumeRecovered) }
+		n.OnGap = func(gi feed.GapInfo) {
+			d.GapRequests++
+			st.Write(feed.AppendRecoveryRequest(nil, gi.Unit, gi.Expected, gi.Got))
+		}
+		d.RecReaders = append(d.RecReaders, rr)
 	}
 }
 

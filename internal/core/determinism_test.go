@@ -31,3 +31,17 @@ func TestMrouteOverflowByteIdentical(t *testing.T) {
 		t.Fatalf("same seed produced different metrics output:\n--- first run\n%s\n--- second run\n%s", a, b)
 	}
 }
+
+// TestFailoverByteIdentical repeats the check with fault injection live: a
+// spine killed mid-burst (reroute, multicast rehoming, TCP gap replay, quote
+// pulls) and a WAN path raining then failing. Fault handling — purges, flight
+// cancellation, reconvergence order, replay scheduling — must be as
+// reproducible as the fault-free path.
+func TestFailoverByteIdentical(t *testing.T) {
+	sc := SmallScenario()
+	a := RunFailover(sc, Seeds(7, 2)).String()
+	b := RunFailover(sc, Seeds(7, 2)).String()
+	if a != b {
+		t.Fatalf("same seed produced different metrics output:\n--- first run\n%s\n--- second run\n%s", a, b)
+	}
+}

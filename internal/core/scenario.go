@@ -36,6 +36,11 @@ type Scenario struct {
 	// publishes.
 	BurstMessages int
 
+	// PullOnGap makes every strategy cancel its working orders when it sees
+	// a sequence gap on the normalized feed (stale-quote protection). The
+	// failover experiment turns this on to count pulls under fabric faults.
+	PullOnGap bool
+
 	// Seed drives all randomness.
 	Seed int64
 }

@@ -155,6 +155,31 @@ func (s *CommoditySwitch) LeaveGroup(group pkt.IP4, i int) {
 	}
 }
 
+// PurgeQueues flushes every egress queue — a power or forwarding-plane
+// failure takes the packet memory with it. FIB and mroute state is
+// persistent configuration and survives (reprogramming on recovery is the
+// control plane's job, modelled by the topology's reconvergence). Returns
+// the number of frames purged.
+func (s *CommoditySwitch) PurgeQueues() int {
+	n := 0
+	for _, p := range s.ports {
+		n += p.PurgeQueue()
+	}
+	return n
+}
+
+// SetLinksUp changes the link state of every connected port on the switch —
+// the data-plane face of a whole-device failure. Unconnected ports are
+// skipped.
+func (s *CommoditySwitch) SetLinksUp(up bool) {
+	for _, p := range s.ports {
+		if p.Connected() {
+			p.SetUp(up)
+			p.Peer().SetUp(up)
+		}
+	}
+}
+
 // HardwareGroups returns the number of groups installed in the ASIC table.
 func (s *CommoditySwitch) HardwareGroups() int { return len(s.mroute) }
 

@@ -65,8 +65,11 @@ type Exchange struct {
 	// schedules allocation-free via AfterArgs3.
 	msgFree []*orderentry.Msg
 
-	// Published counts market-data datagrams sent.
-	Published uint64
+	// Published counts market-data datagrams sent; PublishedMsgs counts the
+	// messages inside them (failover completeness checks compare receiver
+	// message counts against it).
+	Published     uint64
+	PublishedMsgs uint64
 
 	// OnOrderAccepted, if set, fires when the matching engine admits a new
 	// order (after MatchLatency) — the measurement point for round-trip
@@ -379,6 +382,7 @@ func (e *Exchange) publish(sym market.SymbolID, msg *feed.Msg) {
 		e.flush(part)
 		p.Add(msg)
 	}
+	e.PublishedMsgs++
 	e.flush(part)
 }
 
@@ -420,6 +424,7 @@ func (e *Exchange) PublishBurst(rng *rand.Rand, n int) {
 			e.flush(part)
 			e.packers[part].Add(&msg)
 		}
+		e.PublishedMsgs++
 		touched[part] = true
 	}
 	// Flush in partition order: map iteration order must not leak into the

@@ -1,0 +1,166 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"tradenet/internal/netsim"
+	"tradenet/internal/sim"
+	"tradenet/internal/units"
+)
+
+type sink struct{ got int }
+
+func (s *sink) HandleFrame(_ *netsim.Port, f *netsim.Frame) { s.got++; f.Release() }
+
+func link(sched *sim.Scheduler) (*netsim.Port, *sink) {
+	rx := &sink{}
+	a := netsim.NewPort(sched, nil, "a")
+	b := netsim.NewPort(sched, rx, "b")
+	netsim.Connect(a, b, units.Rate10G, sim.Microsecond)
+	return a, rx
+}
+
+func TestLinkOutageTimelineAndLog(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	a, rx := link(sched)
+	p := NewPlan(sched)
+
+	down := sim.Time(10 * sim.Microsecond)
+	p.LinkOutage(a, down, 20*sim.Microsecond)
+
+	send := func() { a.Send(netsim.NewFrameBytes(make([]byte, 100))) }
+	sched.At(sim.Time(1*sim.Microsecond), send)  // delivered
+	sched.At(sim.Time(15*sim.Microsecond), send) // blackholed
+	sched.At(sim.Time(40*sim.Microsecond), send) // delivered after recovery
+	sched.Run()
+
+	if rx.got != 2 {
+		t.Fatalf("delivered %d, want 2", rx.got)
+	}
+	if a.Blackholed != 1 {
+		t.Fatalf("Blackholed = %d, want 1", a.Blackholed)
+	}
+	want := []Record{
+		{At: down, Kind: LinkDown, Target: "a<->b"},
+		{At: down.Add(20 * sim.Microsecond), Kind: LinkUp, Target: "a<->b"},
+	}
+	if !reflect.DeepEqual(p.Log, want) {
+		t.Fatalf("log = %v, want %v", p.Log, want)
+	}
+}
+
+func TestLossBurstRaisesAndRestoresLossProb(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	a, _ := link(sched)
+	a.LossProb = 0.001 // pre-existing medium error rate
+	p := NewPlan(sched)
+	p.LossBurst(a, sim.Time(5*sim.Microsecond), 10*sim.Microsecond, 0.5)
+
+	var during, after float64
+	sched.At(sim.Time(6*sim.Microsecond), func() { during = a.LossProb })
+	sched.At(sim.Time(16*sim.Microsecond), func() { after = a.LossProb })
+	sched.Run()
+
+	if during != 0.5 {
+		t.Fatalf("LossProb during burst = %v, want 0.5", during)
+	}
+	if after != 0.001 {
+		t.Fatalf("LossProb after burst = %v, want the prior 0.001", after)
+	}
+	if len(p.Log) != 2 || p.Log[0].Kind != LossBurstStart || p.Log[1].Kind != LossBurstEnd {
+		t.Fatalf("log = %v", p.Log)
+	}
+}
+
+// fakeSwitch records Fail/Recover calls.
+type fakeSwitch struct {
+	name string
+	up   bool
+	log  *[]string
+}
+
+func (f *fakeSwitch) FaultName() string { return f.name }
+func (f *fakeSwitch) Fail()             { f.up = false; *f.log = append(*f.log, f.name+":fail") }
+func (f *fakeSwitch) Recover()          { f.up = true; *f.log = append(*f.log, f.name+":recover") }
+
+func TestSwitchOutageCallsFailThenRecover(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	var calls []string
+	sw := &fakeSwitch{name: "spine1", up: true, log: &calls}
+	p := NewPlan(sched)
+	p.SwitchOutage(sw, sim.Time(3*sim.Microsecond), 7*sim.Microsecond)
+	sched.Run()
+
+	if !reflect.DeepEqual(calls, []string{"spine1:fail", "spine1:recover"}) {
+		t.Fatalf("calls = %v", calls)
+	}
+	if !sw.up {
+		t.Fatal("switch left failed after recovery event")
+	}
+	if len(p.Log) != 2 || p.Log[0].Kind != SwitchFail || p.Log[1].Kind != SwitchRecover {
+		t.Fatalf("log = %v", p.Log)
+	}
+}
+
+// TestRandomizeDeterministic pins the seed contract: the same seed and
+// config produce the same fired-event log, twice.
+func TestRandomizeDeterministic(t *testing.T) {
+	run := func() []Record {
+		sched := sim.NewScheduler(42)
+		a, _ := link(sched)
+		c, _ := link(sched)
+		var calls []string
+		sw := &fakeSwitch{name: "spine0", up: true, log: &calls}
+		p := NewPlan(sched)
+		p.Randomize(sched.Rand(), RandomConfig{
+			Links:      []*netsim.Port{a, c},
+			Switches:   []Switch{sw},
+			Start:      sim.Time(1 * sim.Microsecond),
+			End:        sim.Time(1 * sim.Millisecond),
+			Outages:    4,
+			MinDown:    5 * sim.Microsecond,
+			MaxDown:    50 * sim.Microsecond,
+			LossBursts: 2,
+			BurstProb:  0.3,
+			BurstDur:   20 * sim.Microsecond,
+		})
+		sched.Run()
+		return p.Log
+	}
+	first, second := run(), run()
+	if len(first) != 2*4+2*2 {
+		t.Fatalf("fired %d events, want %d", len(first), 2*4+2*2)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("same seed produced different fault logs:\n%v\n%v", first, second)
+	}
+}
+
+// TestLogOrderIsFiringOrder: overlapping outages interleave in the log by
+// virtual firing time, not insertion order.
+func TestLogOrderIsFiringOrder(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	mk := func(name string) *netsim.Port {
+		a := netsim.NewPort(sched, nil, name)
+		b := netsim.NewPort(sched, &sink{}, name+"'")
+		netsim.Connect(a, b, units.Rate10G, sim.Microsecond)
+		return a
+	}
+	first, second := mk("first"), mk("second")
+	p := NewPlan(sched)
+	// Inserted in reverse of firing order.
+	p.LinkOutage(second, sim.Time(20*sim.Microsecond), 30*sim.Microsecond)
+	p.LinkOutage(first, sim.Time(10*sim.Microsecond), 50*sim.Microsecond)
+	sched.Run()
+
+	want := []Record{
+		{At: sim.Time(10 * sim.Microsecond), Kind: LinkDown, Target: "first<->first'"},
+		{At: sim.Time(20 * sim.Microsecond), Kind: LinkDown, Target: "second<->second'"},
+		{At: sim.Time(50 * sim.Microsecond), Kind: LinkUp, Target: "second<->second'"},
+		{At: sim.Time(60 * sim.Microsecond), Kind: LinkUp, Target: "first<->first'"},
+	}
+	if !reflect.DeepEqual(p.Log, want) {
+		t.Fatalf("log = %v, want %v", p.Log, want)
+	}
+}

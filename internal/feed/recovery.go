@@ -156,14 +156,70 @@ func (s *RecoveryServer) handle(unit uint8, from, to uint32, send func([]byte)) 
 	send(out)
 }
 
+// ResponseReader incrementally parses a recovery response stream, decoding
+// replayed datagrams back into messages. It is the client-side half of the
+// wire protocol with no gap policy attached — RecoveryClient composes it
+// with a Reassembler, and components with their own sequencing (a
+// normalizer's per-unit reassemblers, say) drive it directly.
+type ResponseReader struct {
+	pending []byte
+
+	// Recovered counts messages decoded from RecoveryOK responses.
+	Recovered uint64
+	// OnRefused, if set, fires once per refusal status (RecoveryTooOld or
+	// RecoveryBadUnit): the requested range is permanently lost.
+	OnRefused func(status uint8)
+}
+
+// Read ingests response-stream bytes, invoking fn for every recovered
+// message. Partial responses are buffered until the rest arrives.
+func (rr *ResponseReader) Read(data []byte, fn func(*Msg)) error {
+	rr.pending = append(rr.pending, data...)
+	for len(rr.pending) >= recoveryRespHdr {
+		status := rr.pending[0]
+		n := int(binary.BigEndian.Uint16(rr.pending[1:3]))
+		if len(rr.pending) < recoveryRespHdr+n {
+			return nil
+		}
+		body := rr.pending[recoveryRespHdr : recoveryRespHdr+n]
+		rr.pending = rr.pending[recoveryRespHdr+n:]
+		switch status {
+		case RecoveryOK:
+			var h UnitHeader
+			rest, err := DecodeUnitHeader(body, &h)
+			if err != nil {
+				return err
+			}
+			var m Msg
+			for i := 0; i < int(h.Count); i++ {
+				rest, err = Decode(rest, &m)
+				if err != nil {
+					return err
+				}
+				rr.Recovered++
+				if fn != nil {
+					fn(&m)
+				}
+			}
+		case RecoveryTooOld, RecoveryBadUnit:
+			if rr.OnRefused != nil {
+				rr.OnRefused(status)
+			}
+		case RecoveryDone:
+			// Range complete.
+		}
+	}
+	return nil
+}
+
 // RecoveryClient pairs a Reassembler with a recovery stream: gaps trigger
 // replay requests, and replayed datagrams are fed back through the
 // reassembler (whose partial-overlap handling skips anything already
 // delivered).
 type RecoveryClient struct {
-	R       *Reassembler
-	send    func([]byte) // transmits request bytes
-	pending []byte
+	R    *Reassembler
+	send func([]byte) // transmits request bytes
+	resp ResponseReader
 
 	// Unrecoverable fires when the server could not cover a requested
 	// range — permanent data loss despite recovery.
@@ -183,6 +239,11 @@ func NewRecoveryClient(unit uint8, send func([]byte)) *RecoveryClient {
 		c.Requests++
 		c.send(AppendRecoveryRequest(nil, g.Unit, g.Expected, g.Got))
 	}
+	c.resp.OnRefused = func(uint8) {
+		if c.Unrecoverable != nil {
+			c.Unrecoverable(c.lastGap)
+		}
+	}
 	return c
 }
 
@@ -199,40 +260,7 @@ func (c *RecoveryClient) Consume(dgram []byte, fn func(*Msg)) error {
 // past them. Recovered data is delivered straight to fn (flagged data, in
 // a real system) rather than through the sequencer.
 func (c *RecoveryClient) ReceiveRecovery(data []byte, fn func(*Msg)) error {
-	c.pending = append(c.pending, data...)
-	for len(c.pending) >= recoveryRespHdr {
-		status := c.pending[0]
-		n := int(binary.BigEndian.Uint16(c.pending[1:3]))
-		if len(c.pending) < recoveryRespHdr+n {
-			return nil
-		}
-		body := c.pending[recoveryRespHdr : recoveryRespHdr+n]
-		c.pending = c.pending[recoveryRespHdr+n:]
-		switch status {
-		case RecoveryOK:
-			var h UnitHeader
-			rest, err := DecodeUnitHeader(body, &h)
-			if err != nil {
-				return err
-			}
-			var m Msg
-			for i := 0; i < int(h.Count); i++ {
-				rest, err = Decode(rest, &m)
-				if err != nil {
-					return err
-				}
-				c.Recovered++
-				if fn != nil {
-					fn(&m)
-				}
-			}
-		case RecoveryTooOld, RecoveryBadUnit:
-			if c.Unrecoverable != nil {
-				c.Unrecoverable(c.lastGap)
-			}
-		case RecoveryDone:
-			// Range complete.
-		}
-	}
-	return nil
+	err := c.resp.Read(data, fn)
+	c.Recovered = c.resp.Recovered
+	return err
 }

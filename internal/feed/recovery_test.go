@@ -62,6 +62,109 @@ func TestRetainBufferWindow(t *testing.T) {
 	}
 }
 
+func TestRetainBufferSteadyStateEviction(t *testing.T) {
+	// At capacity every Retain evicts the oldest datagram and recycles its
+	// buffer as the copy target for the next one. A long steady-state run
+	// must keep exactly the newest cap datagrams with their contents intact
+	// — any aliasing between the spare buffer and a still-retained datagram
+	// shows up here as corrupted order ids.
+	const cap = 4
+	rb := NewRetainBuffer(1, cap)
+	dgrams := mkDgrams(t, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1) // 10 dgrams, seqs 1..10, OrderIDs 0..9
+	for i, d := range dgrams {
+		rb.Retain(d)
+		if rb.Retained() > cap {
+			t.Fatalf("after %d retains: window holds %d > cap %d", i+1, rb.Retained(), cap)
+		}
+	}
+	if rb.OldestSeq() != uint32(len(dgrams)-cap+1) {
+		t.Fatalf("oldest = %d, want %d", rb.OldestSeq(), len(dgrams)-cap+1)
+	}
+	var ids []uint64
+	rb.Replay(1, 100, func(d []byte) {
+		var h UnitHeader
+		rest, err := DecodeUnitHeader(d, &h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m Msg
+		if _, err := Decode(rest, &m); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, m.OrderID)
+	})
+	want := []uint64{6, 7, 8, 9} // the newest cap datagrams, oldest first
+	if len(ids) != len(want) {
+		t.Fatalf("replayed ids %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("replayed ids %v, want %v (evicted buffer aliased a live one?)", ids, want)
+		}
+	}
+}
+
+func TestRecoveryReplayOlderThanWindow(t *testing.T) {
+	// A request entirely behind the retain window is refused with TooOld:
+	// no datagrams, one refusal surfaced to the reader.
+	dgrams := mkDgrams(t, 1, 2, 2, 2, 2) // seqs 1-2, 3-4, 5-6, 7-8
+	rb := NewRetainBuffer(1, 2)          // window holds 5-6, 7-8
+	for _, d := range dgrams {
+		rb.Retain(d)
+	}
+	srv := NewRecoveryServer(rb)
+	var resp []byte
+	srv.Receive(AppendRecoveryRequest(nil, 1, 1, 5), func(b []byte) { resp = append(resp, b...) })
+	if srv.Served != 0 || srv.Refused != 1 {
+		t.Fatalf("served=%d refused=%d, want 0/1", srv.Served, srv.Refused)
+	}
+	rr := &ResponseReader{}
+	var refusals []uint8
+	rr.OnRefused = func(st uint8) { refusals = append(refusals, st) }
+	if err := rr.Read(resp, nil); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Recovered != 0 {
+		t.Fatalf("recovered %d messages from a refused range", rr.Recovered)
+	}
+	if len(refusals) != 1 || refusals[0] != RecoveryTooOld {
+		t.Fatalf("refusals = %v, want [TooOld]", refusals)
+	}
+}
+
+func TestRecoveryRequestSpansWindowBoundary(t *testing.T) {
+	// A request straddling the oldest retained sequence is served partially:
+	// the surviving datagrams are replayed AND the response carries TooOld,
+	// so the client learns the head of the range is permanently gone rather
+	// than mistaking partial replay for full recovery.
+	dgrams := mkDgrams(t, 1, 2, 2, 2, 2) // seqs 1-2, 3-4, 5-6, 7-8
+	rb := NewRetainBuffer(1, 3)          // 1-2 rolled out; window holds 3-4, 5-6, 7-8
+	for _, d := range dgrams {
+		rb.Retain(d)
+	}
+	srv := NewRecoveryServer(rb)
+	var resp []byte
+	srv.Receive(AppendRecoveryRequest(nil, 1, 1, 7), func(b []byte) { resp = append(resp, b...) })
+	if srv.Served != 2 { // 3-4 and 5-6 overlap [1,7); 7-8 does not
+		t.Fatalf("served = %d, want 2", srv.Served)
+	}
+	if srv.Refused != 1 {
+		t.Fatalf("refused = %d, want 1 (head of range rolled out)", srv.Refused)
+	}
+	rr := &ResponseReader{}
+	var refused int
+	rr.OnRefused = func(uint8) { refused++ }
+	if err := rr.Read(resp, nil); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Recovered != 4 {
+		t.Fatalf("recovered = %d, want 4 (seqs 3..6)", rr.Recovered)
+	}
+	if refused != 1 {
+		t.Fatalf("reader refusals = %d, want 1", refused)
+	}
+}
+
 func TestRetainBufferValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {

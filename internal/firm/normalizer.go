@@ -58,6 +58,11 @@ type Normalizer struct {
 
 	ipID uint16
 
+	// OnGap, if set, fires for every sequence gap any of the raw-feed
+	// reassemblers detects (after the Gaps/MsgLost counters update). The
+	// gap-recovery wiring hangs its replay requests here.
+	OnGap func(feed.GapInfo)
+
 	// Stats.
 	MsgsIn, MsgsOut   uint64
 	Filtered          uint64
@@ -91,6 +96,9 @@ func NewNormalizer(sched *sim.Scheduler, u *market.Universe, name string, hostID
 		r.OnGap = func(gi feed.GapInfo) {
 			n.GapsSeen++
 			n.MsgLost += uint64(gi.MsgsLost)
+			if n.OnGap != nil {
+				n.OnGap(gi)
+			}
 		}
 		n.reasm[uint8(i)] = r
 	}
@@ -138,25 +146,12 @@ func (n *Normalizer) process(f *netsim.Frame) {
 	}
 	touched := map[int]bool{}
 	r.Consume(uf.Payload, func(m *feed.Msg) {
-		n.MsgsIn++
-		if n.cfg.Filter != nil && !n.cfg.Filter(m) {
-			n.Filtered++
+		part := n.normalize(m, f.Origin)
+		if part < 0 {
 			return
 		}
-		sym := n.resolveSymbol(m)
-		part := n.outMap.Partitioner().Partition(sym)
-		if n.cfg.PartitionOwned != nil && !n.cfg.PartitionOwned(part) {
-			n.Skipped++
-			return
-		}
-		p := n.packers[part]
-		if !p.Add(m) {
-			n.flush(part, f.Origin)
-			p.Add(m)
-		}
-		n.MsgsOut++
 		touched[part] = true
-		if p.Pending() >= n.cfg.FlushThreshold {
+		if n.packers[part].Pending() >= n.cfg.FlushThreshold {
 			n.flush(part, f.Origin)
 			delete(touched, part)
 		}
@@ -167,6 +162,43 @@ func (n *Normalizer) process(f *netsim.Frame) {
 		if touched[part] {
 			n.flush(part, f.Origin)
 		}
+	}
+}
+
+// normalize runs one message through the filter → partition → packer path,
+// returning the partition it was packed into (-1 if filtered, unowned, or
+// already flushed away by overflow).
+func (n *Normalizer) normalize(m *feed.Msg, origin sim.Time) int {
+	n.MsgsIn++
+	if n.cfg.Filter != nil && !n.cfg.Filter(m) {
+		n.Filtered++
+		return -1
+	}
+	sym := n.resolveSymbol(m)
+	part := n.outMap.Partitioner().Partition(sym)
+	if n.cfg.PartitionOwned != nil && !n.cfg.PartitionOwned(part) {
+		n.Skipped++
+		return -1
+	}
+	p := n.packers[part]
+	if !p.Add(m) {
+		n.flush(part, origin)
+		p.Add(m)
+	}
+	n.MsgsOut++
+	return part
+}
+
+// ConsumeRecovered normalizes a message replayed by the gap-recovery
+// service. It takes the same filter/partition path as live traffic but
+// flushes immediately — recovered data is already late, so batching buys
+// nothing. The packer re-sequences it onto the internal feed, so downstream
+// consumers see a gap-free stream (late, not lost): the normalizer absorbs
+// the exchange-side gap instead of propagating it.
+func (n *Normalizer) ConsumeRecovered(m *feed.Msg) {
+	now := n.sched.Now()
+	if part := n.normalize(m, now); part >= 0 {
+		n.flush(part, now)
 	}
 }
 

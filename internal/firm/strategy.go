@@ -28,6 +28,11 @@ type StrategyConfig struct {
 	// §4.2 compliance hook, typically firm.Surveillance.Reprice bound to
 	// the destination exchange. Returning ok=false suppresses the order.
 	Gate func(sym market.SymbolID, side market.Side, price market.Price) (market.Price, bool)
+	// PullOnGap cancels every working order when a sequence gap appears on
+	// the normalized feed: a gap means missed liquidity events, so resting
+	// quotes are priced against a book the strategy can no longer trust —
+	// the stale-quote risk §2's loss discussion is really about.
+	PullOnGap bool
 }
 
 // Strategy consumes the normalized feed, maintains books, and submits
@@ -51,6 +56,10 @@ type Strategy struct {
 	session *orderentry.ClientSession
 	stream  *netsim.Stream
 	nextOID uint64
+	// liveOrders tracks submitted order ids in submission order (only when
+	// PullOnGap is set), so a pull cancels deterministically — never by
+	// iterating the session's map.
+	liveOrders []uint64
 
 	// decFree pools pendingDecision values so the decision path schedules
 	// allocation-free via AtArgs.
@@ -64,11 +73,14 @@ type Strategy struct {
 	LastTriggerOrigin sim.Time
 
 	// Stats.
-	MsgsIn     uint64
-	OrdersSent uint64
-	Fills      uint64
-	Gated      uint64 // orders suppressed by the compliance gate
-	Repriced   uint64 // orders the gate moved to a compliant price
+	MsgsIn       uint64
+	OrdersSent   uint64
+	Fills        uint64
+	Gated        uint64 // orders suppressed by the compliance gate
+	Repriced     uint64 // orders the gate moved to a compliant price
+	GapsSeen     uint64 // sequence gaps detected on the normalized feed
+	QuotePulls   uint64 // gap-triggered pull events (PullOnGap)
+	PulledOrders uint64 // cancels sent by those pulls
 }
 
 // NewStrategy builds a strategy host subscribed to the chosen partitions of
@@ -95,7 +107,9 @@ func NewStrategy(sched *sim.Scheduler, u *market.Universe, name string, hostID u
 	}
 	for _, i := range parts {
 		s.mdNIC.Join(outMap.GroupByIndex(i))
-		s.reasm[uint8(i)] = feed.NewReassembler(uint8(i))
+		r := feed.NewReassembler(uint8(i))
+		r.OnGap = func(feed.GapInfo) { s.noteGap() }
+		s.reasm[uint8(i)] = r
 	}
 	s.mdNIC.OnFrame = s.onFrame
 	return s
@@ -132,6 +146,33 @@ func (s *Strategy) Book(id market.SymbolID) *market.Book {
 		s.books[id] = b
 	}
 	return b
+}
+
+// noteGap records a sequence gap on the normalized feed and, when PullOnGap
+// is configured, pulls all working quotes.
+func (s *Strategy) noteGap() {
+	s.GapsSeen++
+	if s.cfg.PullOnGap {
+		s.pullQuotes()
+	}
+}
+
+// pullQuotes cancels every working order, in submission order. Orders
+// already gone (filled, rejected) or with a cancel in flight are skipped.
+func (s *Strategy) pullQuotes() {
+	if s.session == nil || !s.session.LoggedOn() {
+		return
+	}
+	s.QuotePulls++
+	for _, id := range s.liveOrders {
+		st, ok := s.session.Order(id)
+		if !ok || st.CancelReq {
+			continue
+		}
+		s.session.Cancel(id)
+		s.PulledOrders++
+	}
+	s.liveOrders = s.liveOrders[:0]
 }
 
 func (s *Strategy) onFrame(_ *netsim.NIC, f *netsim.Frame) {
@@ -264,6 +305,9 @@ func (s *Strategy) fireDecision(d *pendingDecision) {
 	}
 	s.nextOID++
 	s.session.NewOrder(s.nextOID, sym, side, sendPrice, qty)
+	if s.cfg.PullOnGap {
+		s.liveOrders = append(s.liveOrders, s.nextOID)
+	}
 	s.OrdersSent++
 	s.Probe.Order(s.sched.Now())
 }

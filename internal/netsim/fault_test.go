@@ -1,0 +1,184 @@
+package netsim
+
+import (
+	"testing"
+
+	"tradenet/internal/pkt"
+	"tradenet/internal/sim"
+	"tradenet/internal/units"
+)
+
+// Link-failure semantics tests: these pin the contract the fault-injection
+// subsystem builds on. A frame in flight when the link drops is lost and its
+// pooled buffer reclaimed (no leak); Send while down is counted in
+// Blackholed and delivers nothing; queued frames survive the outage and the
+// drain resumes cleanly on recovery.
+
+// payload builds a minimal valid frame body.
+func payload(n int) []byte { return make([]byte, n) }
+
+func TestLinkDownLosesInFlightFrameAndReclaimsBuffer(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	a, rx := twoPorts(sched, units.Rate10G, 10*sim.Microsecond)
+
+	f := NewFrame()
+	f.Data = append(f.Data, payload(200)...)
+	a.Send(f)
+
+	// Let serialization complete so the frame is committed to the wire,
+	// then cut the link mid-propagation.
+	sched.At(sim.Time(5*sim.Microsecond), func() {
+		if a.InFlight() != 1 {
+			t.Fatalf("expected 1 frame in flight, got %d", a.InFlight())
+		}
+		a.SetUp(false)
+		a.Peer().SetUp(false)
+		if a.InFlight() != 0 {
+			t.Fatalf("in-flight ring not cleared on link down: %d", a.InFlight())
+		}
+	})
+	sched.Run()
+
+	if len(rx.frames) != 0 {
+		t.Fatalf("frame delivered across a dead link")
+	}
+	if a.Lost != 1 {
+		t.Fatalf("Lost = %d, want 1 (the in-flight frame)", a.Lost)
+	}
+	if !f.released {
+		t.Fatal("in-flight frame not released back to the pool on link failure")
+	}
+}
+
+func TestSendWhileDownIncrementsBlackholed(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	a, rx := twoPorts(sched, units.Rate10G, sim.Microsecond)
+	a.SetUp(false)
+
+	for i := 0; i < 3; i++ {
+		f := NewFrame()
+		f.Data = append(f.Data, payload(100)...)
+		if a.Send(f) {
+			t.Fatal("Send on a down link reported success")
+		}
+		if !f.released {
+			t.Fatal("blackholed frame not released back to the pool")
+		}
+	}
+	sched.Run()
+
+	if a.Blackholed != 3 {
+		t.Fatalf("Blackholed = %d, want 3", a.Blackholed)
+	}
+	if a.TxFrames != 0 || len(rx.frames) != 0 {
+		t.Fatalf("blackholed frames reached the wire: tx=%d rx=%d", a.TxFrames, len(rx.frames))
+	}
+}
+
+func TestDrainPausesWhileDownAndResumesOnLinkUp(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	a, rx := twoPorts(sched, units.Rate10G, sim.Microsecond)
+
+	// Queue several frames, then fail the link before any serialize.
+	a.SetUp(false)
+	a.SetUp(true) // no-op round trip must not disturb a healthy port
+	for i := 0; i < 4; i++ {
+		f := NewFrame()
+		f.Data = append(f.Data, payload(300)...)
+		f.ID = uint64(i)
+		// Bypass the down check deliberately: enqueue while up, then drop
+		// the link at t=0 before the drain event fires.
+		a.Send(f)
+	}
+	a.SetUp(false)
+	a.Peer().SetUp(false)
+	if got := a.QueuedBytes(); got != 4*300 {
+		t.Fatalf("queued bytes = %d, want %d (queue must survive the outage)", got, 4*300)
+	}
+
+	up := sim.Time(50 * sim.Microsecond)
+	sched.At(up, func() {
+		a.SetUp(true)
+		a.Peer().SetUp(true)
+	})
+	sched.Run()
+
+	if len(rx.frames) != 4 {
+		t.Fatalf("delivered %d frames after recovery, want 4", len(rx.frames))
+	}
+	for i, f := range rx.frames {
+		if f.ID != uint64(i) {
+			t.Fatalf("frame %d delivered out of order (ID %d)", i, f.ID)
+		}
+	}
+	for _, at := range rx.at {
+		if at < up {
+			t.Fatalf("frame delivered at %v, before the link came back at %v", at, up)
+		}
+	}
+	if a.Blackholed != 0 || a.Lost != 0 {
+		t.Fatalf("queued frames wrongly counted: blackholed=%d lost=%d", a.Blackholed, a.Lost)
+	}
+}
+
+func TestPurgeQueueReclaimsQueuedFrames(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	a, rx := twoPorts(sched, units.Rate10G, sim.Microsecond)
+
+	var frames []*Frame
+	for i := 0; i < 3; i++ {
+		f := NewFrame()
+		f.Data = append(f.Data, payload(100)...)
+		a.Send(f)
+		frames = append(frames, f)
+	}
+	// The scheduler has not run, so nothing is on the wire yet: all three
+	// frames are queued. A device failure purges them.
+	a.SetUp(false)
+	if purged := a.PurgeQueue(); purged != 3 || a.QueuedBytes() != 0 {
+		t.Fatalf("purged %d frames, %d bytes left; want 3 and 0", purged, a.QueuedBytes())
+	}
+	if a.Purged != 3 {
+		t.Fatalf("Purged = %d, want 3", a.Purged)
+	}
+	sched.Run()
+	if len(rx.frames) != 0 {
+		t.Fatal("purged frames delivered")
+	}
+	for i, f := range frames {
+		if !f.released {
+			t.Fatalf("frame %d leaked (not released by purge or link-down)", i)
+		}
+	}
+}
+
+// TestLinkDownWithUDPTraffic exercises the failure path with real frame
+// construction end to end, so header building and the pool interact the way
+// production senders do.
+func TestLinkDownWithUDPTraffic(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	a, rx := twoPorts(sched, units.Rate10G, 2*sim.Microsecond)
+	src := pkt.UDPAddr{MAC: pkt.HostMAC(1), IP: pkt.HostIP(1), Port: 9}
+	dst := pkt.UDPAddr{MAC: pkt.HostMAC(2), IP: pkt.HostIP(2), Port: 9}
+
+	send := func() {
+		f := NewFrame()
+		f.Data = pkt.AppendUDPFrame(f.Data, src, dst, 1, payload(64))
+		f.Origin = sched.Now()
+		a.Send(f)
+	}
+	send()
+	down := sim.Time(10 * sim.Microsecond)
+	sched.At(down, func() { a.SetUp(false); a.Peer().SetUp(false) })
+	sched.At(down.Add(sim.Microsecond), func() { send() })
+	sched.At(down.Add(20*sim.Microsecond), func() { a.SetUp(true); a.Peer().SetUp(true) })
+	sched.At(down.Add(30*sim.Microsecond), func() { send() })
+	sched.Run()
+
+	if len(rx.frames) != 2 {
+		t.Fatalf("delivered %d, want 2 (pre-fail and post-recovery)", len(rx.frames))
+	}
+	if a.Blackholed != 1 {
+		t.Fatalf("Blackholed = %d, want 1", a.Blackholed)
+	}
+}

@@ -54,6 +54,16 @@ type queued struct {
 	enq sim.Time
 }
 
+// flight is one frame committed to the wire: its delivery event and the
+// frame itself, so a link failure can cancel the arrival and reclaim the
+// buffer. Deliveries complete FIFO (a later frame's start is this frame's
+// serialization end, and per-frame delay is serialization + a constant
+// propagation), so the head of the flight ring is always the next arrival.
+type flight struct {
+	ev *sim.Event
+	f  *Frame
+}
+
 // Port is one end of a full-duplex link, with an egress FIFO queue.
 type Port struct {
 	Name  string
@@ -73,6 +83,16 @@ type Port struct {
 	queuedByte int
 	capBytes   int
 	draining   bool
+
+	// down marks the transmit side of the link failed (fault injection).
+	// The zero value is up, so slab-allocated ports start healthy.
+	down bool
+
+	// fly is a power-of-two ring of frames committed to the wire, in
+	// transmit order; a link failure cancels and reclaims every entry.
+	fly     []flight
+	flyHead int
+	flyLen  int
 
 	// Tap, if set, observes every frame this port transmits, at the instant
 	// serialization starts — where a capture appliance's optical tap sits.
@@ -96,7 +116,9 @@ type Port struct {
 	TxFrames, RxFrames  uint64
 	TxBytes, RxBytes    uint64
 	Drops               uint64
-	Lost                uint64 // in-flight losses from LossProb
+	Lost                uint64 // in-flight losses: LossProb draws and link-down cuts
+	Blackholed          uint64 // sends attempted while the link was down
+	Purged              uint64 // queued frames flushed by PurgeQueue (device failure)
 	QueueHighWaterBytes int
 	QueueDelay          sim.Duration // cumulative queueing delay (sum)
 }
@@ -154,6 +176,87 @@ func (p *Port) Connected() bool { return p.peer != nil }
 // QueuedBytes returns the bytes currently waiting in the egress queue.
 func (p *Port) QueuedBytes() int { return p.queuedByte }
 
+// Up reports whether the port's transmit side is up.
+func (p *Port) Up() bool { return !p.down }
+
+// InFlight returns the number of frames committed to the wire and not yet
+// delivered.
+func (p *Port) InFlight() int { return p.flyLen }
+
+// SetUp changes the transmit-side link state — the fault-injection entry
+// point (a whole-link failure downs both ends; fault.Plan does that).
+//
+// Going down: every frame already committed to the wire is lost (counted in
+// Lost) and its buffer reclaimed; queued frames stay queued and the drain
+// pauses. Sends while down are counted in Blackholed and discarded — the
+// transmitter keeps handing frames to a dead medium until something tells
+// it otherwise. Coming up: the drain resumes where it paused.
+func (p *Port) SetUp(up bool) {
+	if up == !p.down {
+		return
+	}
+	if !up {
+		p.down = true
+		for p.flyLen > 0 {
+			ent := p.flyPop()
+			ent.ev.Cancel()
+			p.Lost++
+			ent.f.Release()
+		}
+		return
+	}
+	p.down = false
+	if p.qlen > 0 && !p.draining {
+		p.draining = true
+		p.sched.AtArgs(p.sched.Now(), sim.PrioDrain, drainPort, p, nil)
+	}
+}
+
+// PurgeQueue discards every frame waiting in the egress queue — a device
+// failure takes its packet memory with it. Purged frames are counted in
+// Purged and their buffers reclaimed; frames already on the wire are not
+// affected (SetUp(false) handles those).
+func (p *Port) PurgeQueue() int {
+	n := p.qlen
+	for p.qlen > 0 {
+		ent := p.queue[p.qhead]
+		p.queue[p.qhead] = queued{}
+		p.qhead = (p.qhead + 1) & (len(p.queue) - 1)
+		p.qlen--
+		p.Purged++
+		ent.f.Release()
+	}
+	p.queuedByte = 0
+	return n
+}
+
+// flyPush records a frame committed to the wire.
+func (p *Port) flyPush(ev *sim.Event, f *Frame) {
+	if p.flyLen == len(p.fly) {
+		size := len(p.fly) * 2
+		if size == 0 {
+			size = 8
+		}
+		nf := make([]flight, size)
+		for i := 0; i < p.flyLen; i++ {
+			nf[i] = p.fly[(p.flyHead+i)&(len(p.fly)-1)]
+		}
+		p.fly = nf
+		p.flyHead = 0
+	}
+	p.fly[(p.flyHead+p.flyLen)&(len(p.fly)-1)] = flight{ev, f}
+	p.flyLen++
+}
+
+// flyPop removes and returns the oldest in-flight entry.
+func (p *Port) flyPop() flight {
+	ent := p.fly[p.flyHead]
+	p.fly[p.flyHead] = flight{}
+	p.flyHead = (p.flyHead + 1) & (len(p.fly) - 1)
+	p.flyLen--
+	return ent
+}
+
 // Send enqueues f for transmission. It reports false (and counts a drop)
 // when the egress buffer cannot hold the frame — tail-drop, as in shallow
 // switch buffers. The port takes ownership of the frame in both cases; a
@@ -161,6 +264,11 @@ func (p *Port) QueuedBytes() int { return p.queuedByte }
 func (p *Port) Send(f *Frame) bool {
 	if p.peer == nil {
 		panic("netsim: send on unconnected port " + p.Name)
+	}
+	if p.down {
+		p.Blackholed++
+		f.Release()
+		return false
 	}
 	if p.queuedByte+len(f.Data) > p.capBytes {
 		p.Drops++
@@ -198,9 +306,15 @@ func (p *Port) growQueue() {
 }
 
 // deliverFrame is the arrival callback, scheduled closure-free via AtArgs.
+// Deliveries are FIFO per link, so the arriving frame is the sender's
+// oldest in-flight entry; the pop keeps the flight ring in lockstep.
 func deliverFrame(a, b any) {
 	peer := a.(*Port)
 	f := b.(*Frame)
+	sender := peer.peer
+	if ent := sender.flyPop(); ent.f != f {
+		panic("netsim: in-flight ordering violated on " + sender.Name)
+	}
 	peer.RxFrames++
 	peer.RxBytes += uint64(len(f.Data))
 	peer.Owner.HandleFrame(peer, f)
@@ -214,7 +328,9 @@ func drainPort(a, _ any) { a.(*Port).drain() }
 // queue empties. One invocation per frame: the scheduler's clock provides
 // the serialization spacing.
 func (p *Port) drain() {
-	if p.qlen == 0 {
+	if p.qlen == 0 || p.down {
+		// Empty, or the link failed with frames still queued: pause. SetUp
+		// restarts the drain on recovery.
 		p.draining = false
 		return
 	}
@@ -247,7 +363,8 @@ func (p *Port) drain() {
 	if p.CutThrough {
 		delay = p.prop
 	}
-	p.sched.AtArgs(now.Add(delay), sim.PrioDeliver, deliverFrame, p.peer, f)
+	ev := p.sched.AtArgs(now.Add(delay), sim.PrioDeliver, deliverFrame, p.peer, f)
+	p.flyPush(ev, f)
 	// Next frame may start once this one's bits have left.
 	p.sched.AtArgs(now.Add(ser), sim.PrioDrain, drainPort, p, nil)
 }
