@@ -12,6 +12,7 @@ import (
 	"tradenet/internal/core"
 	"tradenet/internal/device"
 	"tradenet/internal/sim"
+	"tradenet/internal/trace"
 )
 
 // BenchmarkTable1FrameLengths (E1) regenerates Table 1: frame-length
@@ -353,4 +354,19 @@ func BenchmarkFailover(b *testing.B) {
 	b.ReportMetric(run.Spine.TimeToRecovery.Microseconds(), "spine-ttr-µs")
 	b.ReportMetric(float64(run.WAN.Recovered), "wan-replayed-msgs")
 	b.ReportMetric(run.WAN.TimeToRecovery.Microseconds(), "wan-ttr-µs")
+}
+
+// BenchmarkAttribution (E20) runs the flight recorder through all three
+// designs and reports the attributed per-message means that back the
+// paper's §4 comparisons.
+func BenchmarkAttribution(b *testing.B) {
+	var r core.AttributionResult
+	for i := 0; i < b.N; i++ {
+		r = core.RunAttribution(core.SmallScenario(), 2)
+	}
+	d1, d3 := r.Designs[0], r.Designs[1]
+	b.ReportMetric(d1.Total.Microseconds()/float64(d1.Accepted), "d1-mean-total-µs")
+	b.ReportMetric(float64(d1.ByCause[trace.CauseSwitching])/float64(d1.Accepted)/1000, "d1-switching-ns")
+	b.ReportMetric(float64(d3.ByCause[trace.CauseSwitching])/float64(d3.Accepted)/1000, "d3-switching-ns")
+	b.ReportMetric(float64(d1.Reconciled+d3.Reconciled), "reconciled-traces")
 }

@@ -9,12 +9,17 @@
 //
 //	pcapdump -file capture.pcap            # summary statistics
 //	pcapdump -file capture.pcap -v | head  # per-message dump
+//	pcapdump -file capture.pcap -v -trace trace.json
+//	                                       # annotate with flight-recorder spans
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"tradenet/internal/capture"
 	"tradenet/internal/feed"
@@ -23,10 +28,61 @@ import (
 	"tradenet/internal/sim"
 )
 
+// traceSpan is one Chrome trace event re-read from a flight-recorder export
+// (internal/trace.WriteChrome): a [start, start+dur) interval in
+// microseconds of virtual time.
+type traceSpan struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Args struct {
+		Trace uint64 `json:"trace"`
+	} `json:"args"`
+}
+
+// loadTrace parses a flight-recorder Chrome trace export, sorted by start.
+func loadTrace(path string) ([]traceSpan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var spans []traceSpan
+	if err := json.Unmarshal(data, &spans); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Ts < spans[j].Ts })
+	return spans, nil
+}
+
+// annotate returns the flight-recorder spans covering instant at, as
+// "trace=<id> <where>:<cause>" fragments (capped at three).
+func annotate(spans []traceSpan, at sim.Time) string {
+	us := float64(at) / float64(sim.Microsecond)
+	var parts []string
+	for i := range spans {
+		s := &spans[i]
+		if s.Ts > us {
+			break
+		}
+		if us < s.Ts+s.Dur {
+			parts = append(parts, fmt.Sprintf("trace=%d %s:%s", s.Args.Trace, s.Name, s.Cat))
+			if len(parts) == 3 {
+				break
+			}
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " [" + strings.Join(parts, ", ") + "]"
+}
+
 func main() {
 	var (
-		path    = flag.String("file", "", "pcap file to decode")
-		verbose = flag.Bool("v", false, "dump every message")
+		path      = flag.String("file", "", "pcap file to decode")
+		verbose   = flag.Bool("v", false, "dump every message")
+		tracePath = flag.String("trace", "", "flight-recorder Chrome trace JSON to annotate frames with")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -42,6 +98,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "parse: %v\n", err)
 		os.Exit(1)
+	}
+	var spans []traceSpan
+	if *tracePath != "" {
+		spans, err = loadTrace(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	frameLens := metrics.NewHistogram()
@@ -85,6 +149,7 @@ func main() {
 				if m.Type == feed.MsgAddOrder || m.Type == feed.MsgTrade {
 					fmt.Printf(" %s %s %d @%d", m.SymbolString(), m.Side, m.Qty, m.Price)
 				}
+				fmt.Print(annotate(spans, at))
 				fmt.Println()
 			}
 		})
@@ -92,6 +157,13 @@ func main() {
 
 	fmt.Printf("%s: %d frames, %d messages, %d undecodable frames\n",
 		*path, len(pkts), msgs, badFrames)
+	if spans != nil {
+		ids := map[uint64]bool{}
+		for i := range spans {
+			ids[spans[i].Args.Trace] = true
+		}
+		fmt.Printf("%s: %d spans across %d traces\n", *tracePath, len(spans), len(ids))
+	}
 	fl := frameLens.Summarize()
 	fmt.Println(metrics.Table(
 		[]string{"metric", "frame bytes", "inter-frame gap"},

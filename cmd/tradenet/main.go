@@ -6,6 +6,7 @@
 //	tradenet -experiment all
 //	tradenet -experiment table1 -frames 500000
 //	tradenet -experiment designs -scale paper
+//	tradenet -experiment attribution -trace trace.json
 //
 // Experiments (see DESIGN.md's per-experiment index):
 //
@@ -34,18 +35,126 @@
 //	genrt       E8b — Design 1 round trip across switch generations
 //	stalequotes E18 — the cost of latency: repricing races an aggressor
 //	failover    E19 — deterministic fault injection: spine kill + WAN outage
+//	attribution E20 — flight-recorder latency attribution across designs
 //
-// Pass -csv <dir> to also export the Figure 2 data series as CSV.
+// Pass -csv <dir> to also export the Figure 2 data series as CSV. Pass
+// -trace <file> with -experiment attribution to export the recorded spans
+// as Chrome trace-event JSON (chrome://tracing, Perfetto).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"tradenet/internal/core"
 	"tradenet/internal/sim"
 )
+
+// runCfg carries the parsed flags to experiment runners.
+type runCfg struct {
+	sc        core.Scenario
+	seed      int64
+	frames    int
+	bursts    int
+	reps      int
+	tracePath string
+}
+
+// experimentSpec is one runnable experiment: its id (the -experiment value)
+// and runner. The single ordered experiments slice below drives -experiment
+// all, the usage listing, and lookup — one registry, no parallel lists to
+// drift apart.
+type experimentSpec struct {
+	id  string
+	run func(cfg runCfg)
+}
+
+var experiments = []experimentSpec{
+	{"table1", func(c runCfg) { fmt.Println(core.RunTable1(c.frames, c.seed)) }},
+	{"fig2a", func(c runCfg) { fmt.Println(core.RunFig2a(c.seed)) }},
+	{"fig2b", func(c runCfg) { fmt.Println(core.RunFig2b(c.seed)) }},
+	{"fig2c", func(c runCfg) { fmt.Println(core.RunFig2c(c.seed)) }},
+	{"designs", func(c runCfg) {
+		if c.reps > 1 {
+			fmt.Println(core.RunDesignComparisonSeeds(c.sc, c.bursts, core.Seeds(c.seed, c.reps)))
+			return
+		}
+		fmt.Println(core.RunDesignComparison(c.sc, c.bursts))
+	}},
+	{"mroute", func(c runCfg) {
+		if c.reps > 1 {
+			fmt.Println(core.RunMrouteOverflowSeeds(40, 20, 60, core.Seeds(c.seed, c.reps)))
+			return
+		}
+		fmt.Println(core.RunMrouteOverflow(40, 20, 60, c.seed))
+	}},
+	{"generations", func(c runCfg) { fmt.Println(core.RunGenerations()) }},
+	{"merge", func(c runCfg) { fmt.Println(core.RunMergeBottleneck([]int{1, 2, 4, 8}, 50, c.seed)) }},
+	{"overhead", func(c runCfg) { fmt.Println(core.RunHeaderOverhead(c.frames, c.seed)) }},
+	{"partitions", func(c runCfg) { fmt.Println(core.RunPartitionScaling(4)) }},
+	{"budget", func(c runCfg) { fmt.Println(core.RunPerEventBudget(2_000_000)) }},
+	{"wan", func(c runCfg) { fmt.Println(core.RunWAN(1000, c.seed)) }},
+	// §5 future-work ablations:
+	{"filtermerge", func(c runCfg) { fmt.Println(core.RunFilteredMerge([]int{2, 4, 8}, 50, c.seed)) }},
+	{"placement", func(c runCfg) { fmt.Println(core.RunPlacement(4, 64, 4, 11, 10, c.seed)) }},
+	{"groupmap", func(c runCfg) { fmt.Println(core.RunGroupMapping(1024, 64, 50, c.seed)) }},
+	{"timestamps", func(c runCfg) { fmt.Println(core.RunTimestampPrecision(20_000, c.seed)) }},
+	{"filterplace", func(c runCfg) { fmt.Println(core.RunFilterPlacement()) }},
+	{"dualpath", func(c runCfg) { fmt.Println(core.RunDualPathWAN(5000, c.seed)) }},
+	{"correlated", func(c runCfg) { fmt.Println(core.RunCorrelatedMerge(4, 60, c.seed)) }},
+	{"colocation", func(c runCfg) { fmt.Println(core.RunColocation(2*sim.Microsecond, c.seed)) }},
+	{"metronbbo", func(c runCfg) { fmt.Println(core.RunMetroNBBO(500*sim.Millisecond, c.seed)) }},
+	{"genrt", func(c runCfg) { fmt.Println(core.RunGenerationRoundTrip(c.sc, c.bursts)) }},
+	{"corepin", func(c runCfg) { fmt.Println(core.RunCorePinning(100, c.seed)) }},
+	{"stalequotes", func(c runCfg) {
+		lats := []sim.Duration{500 * sim.Nanosecond, 2 * sim.Microsecond, 5 * sim.Microsecond,
+			10 * sim.Microsecond, 20 * sim.Microsecond, 50 * sim.Microsecond}
+		fmt.Println(core.RunStaleQuotes(lats, 20, 15*sim.Microsecond, c.seed))
+	}},
+	{"failover", func(c runCfg) { fmt.Println(core.RunFailover(c.sc, core.Seeds(c.seed, c.reps))) }},
+	{"attribution", func(c runCfg) {
+		r := core.RunAttribution(c.sc, c.bursts)
+		fmt.Println(r)
+		if c.tracePath != "" {
+			f, err := os.Create(c.tracePath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trace export: %v\n", err)
+				os.Exit(1)
+			}
+			if err := r.WriteChrome(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trace export: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", c.tracePath)
+		}
+	}},
+}
+
+// lookupExperiment finds a spec by id.
+func lookupExperiment(id string) (experimentSpec, bool) {
+	for _, e := range experiments {
+		if e.id == id {
+			return e, true
+		}
+	}
+	return experimentSpec{}, false
+}
+
+// writeUsage lists every registered experiment id, in registry order.
+func writeUsage(w io.Writer, unknown string) {
+	fmt.Fprintf(w, "unknown experiment %q; known:", unknown)
+	for _, e := range experiments {
+		fmt.Fprintf(w, " %s", e.id)
+	}
+	fmt.Fprintln(w)
+}
 
 func main() {
 	var (
@@ -56,6 +165,7 @@ func main() {
 		bursts     = flag.Int("bursts", 4, "measurement bursts for design round trips")
 		reps       = flag.Int("replications", 1, "independent seeds per experiment (seed, seed+1, ...), fanned across CPUs; applies to designs and mroute")
 		csvDir     = flag.String("csv", "", "also write Figure 2 data series as CSV into this directory")
+		tracePath  = flag.String("trace", "", "write the attribution experiment's Chrome trace JSON to this file")
 	)
 	flag.Parse()
 
@@ -76,71 +186,20 @@ func main() {
 		}
 	}
 
-	runners := map[string]func(){
-		"table1": func() { fmt.Println(core.RunTable1(*frames, *seed)) },
-		"fig2a":  func() { fmt.Println(core.RunFig2a(*seed)) },
-		"fig2b":  func() { fmt.Println(core.RunFig2b(*seed)) },
-		"fig2c":  func() { fmt.Println(core.RunFig2c(*seed)) },
-		"designs": func() {
-			if *reps > 1 {
-				fmt.Println(core.RunDesignComparisonSeeds(sc, *bursts, core.Seeds(*seed, *reps)))
-				return
-			}
-			fmt.Println(core.RunDesignComparison(sc, *bursts))
-		},
-		"mroute": func() {
-			if *reps > 1 {
-				fmt.Println(core.RunMrouteOverflowSeeds(40, 20, 60, core.Seeds(*seed, *reps)))
-				return
-			}
-			fmt.Println(core.RunMrouteOverflow(40, 20, 60, *seed))
-		},
-		"generations": func() { fmt.Println(core.RunGenerations()) },
-		"merge":       func() { fmt.Println(core.RunMergeBottleneck([]int{1, 2, 4, 8}, 50, *seed)) },
-		"overhead":    func() { fmt.Println(core.RunHeaderOverhead(*frames, *seed)) },
-		"partitions":  func() { fmt.Println(core.RunPartitionScaling(4)) },
-		"budget":      func() { fmt.Println(core.RunPerEventBudget(2_000_000)) },
-		"wan":         func() { fmt.Println(core.RunWAN(1000, *seed)) },
-		// §5 future-work ablations:
-		"filtermerge": func() { fmt.Println(core.RunFilteredMerge([]int{2, 4, 8}, 50, *seed)) },
-		"placement":   func() { fmt.Println(core.RunPlacement(4, 64, 4, 11, 10, *seed)) },
-		"groupmap":    func() { fmt.Println(core.RunGroupMapping(1024, 64, 50, *seed)) },
-		"timestamps":  func() { fmt.Println(core.RunTimestampPrecision(20_000, *seed)) },
-		"filterplace": func() { fmt.Println(core.RunFilterPlacement()) },
-		"dualpath":    func() { fmt.Println(core.RunDualPathWAN(5000, *seed)) },
-		"correlated":  func() { fmt.Println(core.RunCorrelatedMerge(4, 60, *seed)) },
-		"colocation":  func() { fmt.Println(core.RunColocation(2*sim.Microsecond, *seed)) },
-		"metronbbo":   func() { fmt.Println(core.RunMetroNBBO(500*sim.Millisecond, *seed)) },
-		"genrt":       func() { fmt.Println(core.RunGenerationRoundTrip(sc, *bursts)) },
-		"corepin":     func() { fmt.Println(core.RunCorePinning(100, *seed)) },
-		"stalequotes": func() {
-			lats := []sim.Duration{500 * sim.Nanosecond, 2 * sim.Microsecond, 5 * sim.Microsecond,
-				10 * sim.Microsecond, 20 * sim.Microsecond, 50 * sim.Microsecond}
-			fmt.Println(core.RunStaleQuotes(lats, 20, 15*sim.Microsecond, *seed))
-		},
-		"failover": func() { fmt.Println(core.RunFailover(sc, core.Seeds(*seed, *reps))) },
-	}
-	order := []string{"table1", "fig2a", "fig2b", "fig2c", "designs", "mroute",
-		"generations", "merge", "overhead", "partitions", "budget", "wan",
-		"filtermerge", "placement", "groupmap", "timestamps", "filterplace",
-		"dualpath", "correlated", "colocation", "metronbbo", "genrt", "corepin",
-		"stalequotes", "failover"}
+	cfg := runCfg{sc: sc, seed: *seed, frames: *frames, bursts: *bursts,
+		reps: *reps, tracePath: *tracePath}
 
 	if *experiment == "all" {
-		for _, id := range order {
-			fmt.Printf("=== %s ===\n", id)
-			runners[id]()
+		for _, e := range experiments {
+			fmt.Printf("=== %s ===\n", e.id)
+			e.run(cfg)
 		}
 		return
 	}
-	run, ok := runners[*experiment]
+	e, ok := lookupExperiment(*experiment)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; known:", *experiment)
-		for _, id := range order {
-			fmt.Fprintf(os.Stderr, " %s", id)
-		}
-		fmt.Fprintln(os.Stderr)
+		writeUsage(os.Stderr, *experiment)
 		os.Exit(2)
 	}
-	run()
+	e.run(cfg)
 }

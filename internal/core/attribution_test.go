@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"tradenet/internal/device"
+	"tradenet/internal/sim"
+	"tradenet/internal/trace"
+)
+
+// TestTracingNonPerturbing enforces the flight recorder's central contract:
+// installing a recorder must not change what the simulation does. Two
+// identical Design 1 plants run the same measurement, one with tracing armed
+// and one without; the event schedule, the tick-to-trade samples, and the
+// exchange's publish counters must match exactly.
+func TestTracingNonPerturbing(t *testing.T) {
+	sc := SmallScenario()
+
+	plain := NewDesign1(sc, device.DefaultCommodityConfig())
+	rtPlain := plain.MeasureRoundTrip(2)
+
+	traced := NewDesign1(sc, device.DefaultCommodityConfig())
+	rec := trace.NewRecorder(attributionEvery, attributionCap)
+	traced.Ex.EnableTracing(rec)
+	rtTraced := traced.MeasureRoundTrip(2)
+
+	if got, want := traced.Sched.Fired(), plain.Sched.Fired(); got != want {
+		t.Errorf("tracing changed the event schedule: fired %d events, untraced fired %d", got, want)
+	}
+	if got, want := traced.Ex.Published, plain.Ex.Published; got != want {
+		t.Errorf("tracing changed published datagrams: %d vs %d", got, want)
+	}
+	if got, want := traced.Ex.PublishedMsgs, plain.Ex.PublishedMsgs; got != want {
+		t.Errorf("tracing changed published messages: %d vs %d", got, want)
+	}
+	if len(rtTraced.Samples) != len(rtPlain.Samples) {
+		t.Fatalf("tracing changed sample count: %d vs %d", len(rtTraced.Samples), len(rtPlain.Samples))
+	}
+	for i := range rtPlain.Samples {
+		if rtTraced.Samples[i] != rtPlain.Samples[i] {
+			t.Fatalf("tracing changed sample %d: %v vs %v", i, rtTraced.Samples[i], rtPlain.Samples[i])
+		}
+	}
+	if rec.Created() == 0 || len(rec.Done()) == 0 {
+		t.Error("traced run recorded nothing — the non-perturbation comparison proved nothing")
+	}
+}
+
+// TestAttributionByteIdentical requires the whole E20 pipeline — recorder,
+// span capture across three designs, registry dumps, and the Chrome trace
+// export — to be a pure function of the seed.
+func TestAttributionByteIdentical(t *testing.T) {
+	sc := SmallScenario()
+	a := RunAttribution(sc, 2)
+	b := RunAttribution(sc, 2)
+	if as, bs := a.String(), b.String(); as != bs {
+		t.Fatalf("same seed produced different attribution output:\n--- first run\n%s\n--- second run\n%s", as, bs)
+	}
+	var aw, bw bytes.Buffer
+	if err := a.WriteChrome(&aw); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteChrome(&bw); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aw.Bytes(), bw.Bytes()) {
+		t.Fatal("same seed produced different Chrome trace bytes")
+	}
+	if aw.Len() == 0 {
+		t.Fatal("Chrome trace export was empty")
+	}
+}
+
+// TestAttributionReconcilesExactly is the acceptance bar for the telescoping
+// span design: every burst-originated accepted trace's span sum must equal a
+// tick-to-trade tap sample to the picosecond, in every design.
+func TestAttributionReconcilesExactly(t *testing.T) {
+	r := RunAttribution(SmallScenario(), 2)
+	if len(r.Designs) != 3 {
+		t.Fatalf("expected 3 designs, got %d", len(r.Designs))
+	}
+	for _, d := range r.Designs {
+		if d.Accepted == 0 {
+			t.Errorf("%s: no accepted traces — nothing reconciled", d.Design)
+			continue
+		}
+		if d.MaxDelta != 0 {
+			t.Errorf("%s: span sums diverge from the tap by up to %v; want exact", d.Design, d.MaxDelta)
+		}
+		if want := d.Accepted - d.Reflected; d.Reconciled != want {
+			t.Errorf("%s: reconciled %d of %d burst-originated accepted traces", d.Design, d.Reconciled, want)
+		}
+		if d.Finished > d.Created || d.Created > attributionCap {
+			t.Errorf("%s: finished %d / created %d violates the recorder cap %d",
+				d.Design, d.Finished, d.Created, attributionCap)
+		}
+		var byCause sim.Duration
+		for _, v := range d.ByCause {
+			byCause += v
+		}
+		if byCause != d.Total {
+			t.Errorf("%s: cause breakdown sums to %v, total is %v", d.Design, byCause, d.Total)
+		}
+		if d.RegistryDump == "" {
+			t.Errorf("%s: empty registry dump", d.Design)
+		}
+	}
+}

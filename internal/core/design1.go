@@ -194,6 +194,7 @@ func measure(sched *sim.Scheduler, ex *exchange.Exchange, sc Scenario, bursts in
 		at := start.Add(sim.Duration(b) * 2 * sim.Millisecond)
 		sched.At(at, func() {
 			burstAt = sched.Now()
+			rt.Bursts = append(rt.Bursts, burstAt)
 			ex.PublishBurst(sched.Rand(), sc.BurstMessages/bursts)
 		})
 	}

@@ -104,6 +104,10 @@ type RoundTrip struct {
 	SwitchLatency sim.Duration
 	// Orders is the number of orders the exchange accepted.
 	Orders int
+	// Bursts records the publish instant of each measurement burst — the
+	// origins the Samples are measured from (the attribution experiment uses
+	// them to tell burst-originated traces from match-time reflections).
+	Bursts []sim.Time
 }
 
 // Mean returns the mean tick-to-trade latency.

@@ -5,6 +5,7 @@ import (
 
 	"tradenet/internal/netsim"
 	"tradenet/internal/sim"
+	"tradenet/internal/trace"
 )
 
 // CloudEqualizerConfig parameterizes the Design 2 fabric (§4.2): a cloud
@@ -95,6 +96,10 @@ func (c *CloudEqualizer) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
 			if i < len(c.ports)-1 {
 				ff = f.Clone()
 			}
+			if t := ff.Trace; t != nil {
+				// The equalized cloud transit is fabric time: switching.
+				t.Record(c.Name, trace.CauseSwitching, c.sched.Now().Add(c.delay(i)))
+			}
 			c.sched.AfterArgs(c.delay(i), sim.PrioDeliver, sendFrame, c.ports[i], ff)
 		}
 		return
@@ -102,6 +107,9 @@ func (c *CloudEqualizer) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
 	for i := 1; i < len(c.ports); i++ {
 		if c.ports[i] == ingress {
 			c.Delivered++
+			if t := f.Trace; t != nil {
+				t.Record(c.Name, trace.CauseSwitching, c.sched.Now().Add(c.delay(i)))
+			}
 			c.sched.AfterArgs(c.delay(i), sim.PrioDeliver, sendFrame, c.ports[0], f)
 			return
 		}

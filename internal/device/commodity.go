@@ -8,6 +8,7 @@ import (
 	"tradenet/internal/netsim"
 	"tradenet/internal/pkt"
 	"tradenet/internal/sim"
+	"tradenet/internal/trace"
 )
 
 // CommoditySwitchConfig parameterizes a merchant-silicon switch.
@@ -230,6 +231,9 @@ func (s *CommoditySwitch) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
 		return // hairpin suppressed
 	}
 	s.Forwarded++
+	if t := f.Trace; t != nil {
+		t.Record(s.Name, trace.CauseSwitching, s.sched.Now().Add(s.cfg.Latency))
+	}
 	s.sched.AfterArgs(s.cfg.Latency, sim.PrioDeliver, sendFrame, out, f)
 }
 
@@ -246,6 +250,11 @@ func (s *CommoditySwitch) forwardMulticast(ingress *netsim.Port, f *netsim.Frame
 	group := uf.IP.Dst
 	if ent, ok := s.mroute[group]; ok {
 		s.Forwarded++
+		if t := f.Trace; t != nil {
+			// Fan-out clones fork after this span, so every replica carries
+			// the in-switch time.
+			t.Record(s.Name, trace.CauseSwitching, s.sched.Now().Add(s.cfg.Latency))
+		}
 		s.sched.AfterArgs3(s.cfg.Latency, sim.PrioDeliver, fanOutEntry, ent, ingress, f)
 		return
 	}
@@ -266,12 +275,21 @@ func (s *CommoditySwitch) forwardMulticast(ingress *netsim.Port, f *netsim.Frame
 	// Allow a short CPU backlog (16 frames); beyond it, drop.
 	if s.softBusy.Sub(now) > 16*service {
 		s.SoftDrops++
+		if t := f.Trace; t != nil {
+			t.Record(s.Name, trace.CauseSoftware, now)
+			t.Finish(trace.EndDropped)
+			f.Trace = nil
+		}
 		f.Release()
 		return
 	}
 	start := s.softBusy
 	s.softBusy = start.Add(service)
 	s.SoftForwarded++
+	if t := f.Trace; t != nil {
+		// The slow path is a CPU, so its time is software, not switching.
+		t.Record(s.Name, trace.CauseSoftware, start.Add(s.cfg.SoftwareLatency))
+	}
 	s.sched.AtArgs3(start.Add(s.cfg.SoftwareLatency), sim.PrioDeliver, fanOutEntry, ent, ingress, f)
 }
 

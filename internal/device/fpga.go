@@ -4,6 +4,7 @@ import (
 	"tradenet/internal/netsim"
 	"tradenet/internal/pkt"
 	"tradenet/internal/sim"
+	"tradenet/internal/trace"
 )
 
 // FilteringL1Config parameterizes the §5 "Hardware" research direction: a
@@ -154,6 +155,9 @@ func (s *FilteringL1Switch) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
 		ff := f
 		if sent < eligible {
 			ff = f.Clone()
+		}
+		if t := ff.Trace; t != nil {
+			t.Record(s.Name, trace.CauseSwitching, s.sched.Now().Add(s.cfg.Latency))
 		}
 		s.sched.AfterArgs(s.cfg.Latency, sim.PrioDeliver, sendFrame, s.ports[o], ff)
 	}

@@ -3,6 +3,7 @@ package device
 import (
 	"tradenet/internal/netsim"
 	"tradenet/internal/sim"
+	"tradenet/internal/trace"
 )
 
 // L1SwitchConfig parameterizes a Layer-1 switch (Arista 7130-class, §4.3).
@@ -140,10 +141,15 @@ func (s *L1Switch) HandleFrame(ingress *netsim.Port, f *netsim.Frame) {
 		if s.merged[o] {
 			lat += s.cfg.MergeLatency
 		}
-		// Clone per extra leg; the last leg carries the original frame.
+		// Clone per extra leg; the last leg carries the original frame. The
+		// switching span is per leg (legs differ when a merge unit sits on
+		// some egresses), so it is recorded after the fork.
 		ff := f
 		if i < len(outs)-1 {
 			ff = f.Clone()
+		}
+		if t := ff.Trace; t != nil {
+			t.Record(s.Name, trace.CauseSwitching, now.Add(lat))
 		}
 		s.sched.AfterArgs(lat, sim.PrioDeliver, sendFrame, s.ports[o], ff)
 	}

@@ -15,6 +15,7 @@ import (
 	"tradenet/internal/orderentry"
 	"tradenet/internal/pkt"
 	"tradenet/internal/sim"
+	"tradenet/internal/trace"
 )
 
 // MDPort is the UDP destination port market data is published to.
@@ -76,8 +77,13 @@ type Exchange struct {
 	// latency experiments.
 	OnOrderAccepted func(m *orderentry.Msg, at sim.Time)
 
-	scratch []byte
-	ipID    uint16
+	// tracer, if set, starts a flight-recorder trace on every published
+	// market-data datagram (subject to the recorder's sampling stride) and
+	// finishes traces arriving on accepted orders. Nil means fully untraced:
+	// every hook degenerates to a nil compare.
+	tracer *trace.Recorder
+
+	ipID uint16
 }
 
 type ownerRef struct {
@@ -121,6 +127,13 @@ func New(sched *sim.Scheduler, u *market.Universe, pmap *mcast.Map, cfg Config) 
 // RetainDgrams is the per-partition replay window served to gap-recovery
 // clients.
 const RetainDgrams = 4096
+
+// EnableTracing installs a flight recorder: published datagrams start
+// traces, accepted orders finish them. Pass nil to disable.
+func (e *Exchange) EnableTracing(r *trace.Recorder) { e.tracer = r }
+
+// Tracer returns the installed flight recorder (nil when tracing is off).
+func (e *Exchange) Tracer() *trace.Recorder { return e.tracer }
 
 // RecoveryServer exposes the exchange's gap-recovery service; callers wire
 // its Receive to an order-entry-style stream (real feeds run it on a
@@ -183,14 +196,28 @@ func (e *Exchange) AcceptSession(clientAddr pkt.UDPAddr) (*orderentry.ExchangeSe
 	e.mux.Register(stream)
 
 	sess.Validate = e.validate
+	// Each handler adopts the trace parked on the stream by the mux (nil when
+	// untraced) so the match-latency wait is attributed to exchange software.
 	sess.OnNew = func(m *orderentry.Msg) {
-		e.sched.AfterArgs3(e.cfg.MatchLatency, sim.PrioDeliver, execNewArgs, e, sess, e.copyMsg(m))
+		c := e.copyMsg(m)
+		if t := stream.TakeRxTrace(); t != nil {
+			c.Trace = t
+		}
+		e.sched.AfterArgs3(e.cfg.MatchLatency, sim.PrioDeliver, execNewArgs, e, sess, c)
 	}
 	sess.OnCancel = func(m *orderentry.Msg) {
-		e.sched.AfterArgs3(e.cfg.MatchLatency, sim.PrioDeliver, execCancelArgs, e, sess, e.copyMsg(m))
+		c := e.copyMsg(m)
+		if t := stream.TakeRxTrace(); t != nil {
+			c.Trace = t
+		}
+		e.sched.AfterArgs3(e.cfg.MatchLatency, sim.PrioDeliver, execCancelArgs, e, sess, c)
 	}
 	sess.OnModify = func(m *orderentry.Msg) {
-		e.sched.AfterArgs3(e.cfg.MatchLatency, sim.PrioDeliver, execModifyArgs, e, sess, e.copyMsg(m))
+		c := e.copyMsg(m)
+		if t := stream.TakeRxTrace(); t != nil {
+			c.Trace = t
+		}
+		e.sched.AfterArgs3(e.cfg.MatchLatency, sim.PrioDeliver, execModifyArgs, e, sess, c)
 	}
 	return sess, port
 }
@@ -244,6 +271,11 @@ func (e *Exchange) validate(m *orderentry.Msg) orderentry.RejectReason {
 }
 
 func (e *Exchange) execNew(sess *orderentry.ExchangeSession, m *orderentry.Msg) {
+	if t := m.Trace; t != nil {
+		t.Record(e.cfg.Name, trace.CauseSoftware, e.sched.Now())
+		t.Finish(trace.EndAccepted)
+		m.Trace = nil
+	}
 	if e.OnOrderAccepted != nil {
 		e.OnOrderAccepted(m, e.sched.Now())
 	}
@@ -260,6 +292,11 @@ func (e *Exchange) execNew(sess *orderentry.ExchangeSession, m *orderentry.Msg) 
 }
 
 func (e *Exchange) execCancel(sess *orderentry.ExchangeSession, m *orderentry.Msg) {
+	if t := m.Trace; t != nil {
+		t.Record(e.cfg.Name, trace.CauseSoftware, e.sched.Now())
+		t.Finish(trace.EndConsumed)
+		m.Trace = nil
+	}
 	// Find the exchange order belonging to this client id and session.
 	exID, ok := e.findOrder(sess, m.OrderID)
 	if !ok {
@@ -288,6 +325,11 @@ func (e *Exchange) dropOwner(exID market.OrderID) {
 }
 
 func (e *Exchange) execModify(sess *orderentry.ExchangeSession, m *orderentry.Msg) {
+	if t := m.Trace; t != nil {
+		t.Record(e.cfg.Name, trace.CauseSoftware, e.sched.Now())
+		t.Finish(trace.EndConsumed)
+		m.Trace = nil
+	}
 	exID, ok := e.findOrder(sess, m.OrderID)
 	if !ok {
 		sess.CancelReject(m.OrderID)
@@ -393,8 +435,15 @@ func (e *Exchange) flush(part int) {
 	e.packers[part].Flush(func(dgram []byte) {
 		e.retain[part].Retain(dgram)
 		e.ipID++
-		e.scratch = pkt.AppendUDPFrame(e.scratch[:0], src, dst, e.ipID, dgram)
-		e.mdNIC.SendBytes(e.scratch)
+		// Build straight into a pooled frame (no intermediate scratch copy)
+		// so the flight recorder can ride the frame from the instant of
+		// publication. Send stamps Origin exactly as SendBytes did.
+		fr := netsim.NewFrame()
+		fr.Data = pkt.AppendUDPFrame(fr.Data, src, dst, e.ipID, dgram)
+		if e.tracer != nil {
+			fr.Trace = e.tracer.Start(e.sched.Now())
+		}
+		e.mdNIC.Send(fr)
 		e.Published++
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"tradenet/internal/orderentry"
 	"tradenet/internal/pkt"
 	"tradenet/internal/sim"
+	"tradenet/internal/trace"
 )
 
 // GatewayBasePort is the first TCP port gateways accept internal sessions
@@ -87,6 +88,7 @@ type response struct {
 type relayReq struct {
 	sess *orderentry.ExchangeSession
 	m    orderentry.Msg
+	tr   *trace.Ctx
 }
 
 // NewGateway builds a gateway host. Its exchange side is connected later
@@ -194,14 +196,22 @@ func (g *Gateway) AcceptStrategy(clientAddr pkt.UDPAddr) uint16 {
 	stream.OnData = func(b []byte) { sess.Receive(b) }
 	g.inMux.Register(stream)
 
+	// Each handler adopts the trace the mux parked on the stream (nil when
+	// untraced) so the translate delay is attributed to gateway software.
 	sess.OnNew = func(m *orderentry.Msg) {
-		g.sched.AfterArgs(g.cfg.TranslateLatency, sim.PrioDeliver, relayNewArgs, g, g.copyReq(sess, m))
+		r := g.copyReq(sess, m)
+		r.tr = stream.TakeRxTrace()
+		g.sched.AfterArgs(g.cfg.TranslateLatency, sim.PrioDeliver, relayNewArgs, g, r)
 	}
 	sess.OnCancel = func(m *orderentry.Msg) {
-		g.sched.AfterArgs(g.cfg.TranslateLatency, sim.PrioDeliver, relayCancelArgs, g, g.copyReq(sess, m))
+		r := g.copyReq(sess, m)
+		r.tr = stream.TakeRxTrace()
+		g.sched.AfterArgs(g.cfg.TranslateLatency, sim.PrioDeliver, relayCancelArgs, g, r)
 	}
 	sess.OnModify = func(m *orderentry.Msg) {
-		g.sched.AfterArgs(g.cfg.TranslateLatency, sim.PrioDeliver, relayModifyArgs, g, g.copyReq(sess, m))
+		r := g.copyReq(sess, m)
+		r.tr = stream.TakeRxTrace()
+		g.sched.AfterArgs(g.cfg.TranslateLatency, sim.PrioDeliver, relayModifyArgs, g, r)
 	}
 	return port
 }
@@ -230,6 +240,7 @@ func relayNewArgs(a, b any) {
 	g.byExID[exID] = ref
 	g.toExID[ref] = exID
 	g.Relayed++
+	g.attachTrace(r)
 	g.exSession.NewOrder(exID, r.m.Symbol, r.m.Side, r.m.Price, r.m.Qty)
 	g.releaseReq(r)
 }
@@ -239,8 +250,11 @@ func relayCancelArgs(a, b any) {
 	ref := clientRef{sess: r.sess, id: r.m.OrderID}
 	if exID, ok := g.toExID[ref]; ok {
 		g.Relayed++
+		g.attachTrace(r)
 		g.exSession.Cancel(exID)
 	} else {
+		r.tr.Finish(trace.EndConsumed)
+		r.tr = nil
 		r.sess.CancelReject(r.m.OrderID)
 	}
 	g.releaseReq(r)
@@ -251,14 +265,27 @@ func relayModifyArgs(a, b any) {
 	ref := clientRef{sess: r.sess, id: r.m.OrderID}
 	if exID, ok := g.toExID[ref]; ok {
 		g.Relayed++
+		g.attachTrace(r)
 		g.exSession.Modify(exID, r.m.Price, r.m.Qty)
 	} else {
+		r.tr.Finish(trace.EndConsumed)
+		r.tr = nil
 		r.sess.CancelReject(r.m.OrderID)
 	}
 	g.releaseReq(r)
 }
 
+// attachTrace hands a relayed request's trace to the exchange-facing stream,
+// charging the gateway residency (receive path + translate) as software time.
+func (g *Gateway) attachTrace(r *relayReq) {
+	if t := r.tr; t != nil {
+		t.Record(g.host.Name, trace.CauseSoftware, g.sched.Now())
+		g.exStream.AttachTxTrace(t)
+		r.tr = nil
+	}
+}
+
 func (g *Gateway) releaseReq(r *relayReq) {
-	r.sess, r.m = nil, orderentry.Msg{}
+	r.sess, r.m, r.tr = nil, orderentry.Msg{}, nil
 	g.relayFree = append(g.relayFree, r)
 }

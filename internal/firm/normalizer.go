@@ -12,6 +12,7 @@ import (
 	"tradenet/internal/netsim"
 	"tradenet/internal/pkt"
 	"tradenet/internal/sim"
+	"tradenet/internal/trace"
 )
 
 // NormalizedPort is the UDP port normalized market data is published on.
@@ -57,6 +58,11 @@ type Normalizer struct {
 	orderSym map[uint64]market.SymbolID
 
 	ipID uint16
+
+	// curTrace is the flight-recorder context stolen from the frame being
+	// processed; the first flushed output frame adopts it, carrying the trace
+	// across the normalizer hop.
+	curTrace *trace.Ctx
 
 	// OnGap, if set, fires for every sequence gap any of the raw-feed
 	// reassemblers detects (after the Gaps/MsgLost counters update). The
@@ -132,6 +138,13 @@ func processFrame(a, b any) {
 
 func (n *Normalizer) process(f *netsim.Frame) {
 	defer f.Release()
+	// Steal the trace before any early return: whichever output frame
+	// flushes first adopts it; a trace with no output (parse failure,
+	// everything filtered) is closed as consumed here.
+	if f.Trace != nil {
+		n.curTrace, f.Trace = f.Trace, nil
+	}
+	defer n.closeTrace()
 	var uf pkt.UDPFrame
 	if err := pkt.ParseUDPFrame(f.Data, &uf); err != nil {
 		return
@@ -235,6 +248,22 @@ func (n *Normalizer) flush(part int, origin sim.Time) {
 		fr := netsim.NewFrame()
 		fr.Data = pkt.AppendUDPFrame(fr.Data, src, dst, n.ipID, dgram)
 		fr.Origin = origin
+		if t := n.curTrace; t != nil {
+			// The whole normalizer residency — host receive path, proc
+			// latency, reassembly — is one software span ending now.
+			t.Record(n.host.Name, trace.CauseSoftware, n.sched.Now())
+			fr.Trace = t
+			n.curTrace = nil
+		}
 		n.pubNIC.Send(fr)
 	})
+}
+
+// closeTrace finishes a stolen trace no output frame adopted.
+func (n *Normalizer) closeTrace() {
+	if t := n.curTrace; t != nil {
+		t.Record(n.host.Name, trace.CauseSoftware, n.sched.Now())
+		t.Finish(trace.EndConsumed)
+		n.curTrace = nil
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"tradenet/internal/orderentry"
 	"tradenet/internal/pkt"
 	"tradenet/internal/sim"
+	"tradenet/internal/trace"
 )
 
 // StrategyConfig parameterizes a strategy server.
@@ -64,6 +65,11 @@ type Strategy struct {
 	// decFree pools pendingDecision values so the decision path schedules
 	// allocation-free via AtArgs.
 	decFree []*pendingDecision
+
+	// rxTrace is the flight-recorder context stolen from the frame being
+	// consumed; the first decision it triggers adopts it and carries it to
+	// the outgoing order.
+	rxTrace *trace.Ctx
 
 	// Probe measures decision latency (order-out minus last md-in) using
 	// frame origin timestamps — the §2 measurement.
@@ -191,11 +197,21 @@ func (s *Strategy) onFrame(_ *netsim.NIC, f *netsim.Frame) {
 	if !ok {
 		return
 	}
+	// Steal the trace: the first decision this frame triggers adopts it; if
+	// nothing fires, it ends here — the strategy consumed the tick.
+	if f.Trace != nil {
+		s.rxTrace, f.Trace = f.Trace, nil
+	}
 	r.Consume(uf.Payload, func(m *feed.Msg) {
 		s.MsgsIn++
 		s.Probe.Input(s.sched.Now())
 		s.apply(m, f.Origin)
 	})
+	if t := s.rxTrace; t != nil {
+		t.Record(s.host.Name, trace.CauseSoftware, s.sched.Now())
+		t.Finish(trace.EndConsumed)
+		s.rxTrace = nil
+	}
 }
 
 // apply updates book state and runs the trigger.
@@ -259,6 +275,9 @@ func (s *Strategy) apply(m *feed.Msg, origin sim.Time) {
 	s.LastTriggerOrigin = origin
 	d := s.getDecision()
 	d.book, d.price, d.qty, d.side = book, price, qty, side
+	if s.rxTrace != nil {
+		d.tr, s.rxTrace = s.rxTrace, nil
+	}
 	s.sched.AfterArgs(s.cfg.DecisionLatency, sim.PrioDeliver, fireDecisionArgs, s, d)
 }
 
@@ -269,6 +288,7 @@ type pendingDecision struct {
 	price market.Price
 	qty   market.Qty
 	side  market.Side
+	tr    *trace.Ctx
 }
 
 func (s *Strategy) getDecision() *pendingDecision {
@@ -286,9 +306,13 @@ func fireDecisionArgs(a, b any) { a.(*Strategy).fireDecision(b.(*pendingDecision
 
 // fireDecision sends (or gates) the order decided one DecisionLatency ago.
 func (s *Strategy) fireDecision(d *pendingDecision) {
-	book, price, qty, side := d.book, d.price, d.qty, d.side
+	book, price, qty, side, tr := d.book, d.price, d.qty, d.side, d.tr
 	*d = pendingDecision{}
 	s.decFree = append(s.decFree, d)
+	if tr != nil {
+		// Receive path + trigger + decision latency: one software span.
+		tr.Record(s.host.Name, trace.CauseSoftware, s.sched.Now())
+	}
 
 	sym := book.Symbol()
 	sendPrice := price
@@ -296,6 +320,7 @@ func (s *Strategy) fireDecision(d *pendingDecision) {
 		p, ok := s.cfg.Gate(sym, side, price)
 		if !ok {
 			s.Gated++
+			tr.Finish(trace.EndConsumed)
 			return
 		}
 		if p != price {
@@ -304,6 +329,9 @@ func (s *Strategy) fireDecision(d *pendingDecision) {
 		sendPrice = p
 	}
 	s.nextOID++
+	if tr != nil {
+		s.stream.AttachTxTrace(tr)
+	}
 	s.session.NewOrder(s.nextOID, sym, side, sendPrice, qty)
 	if s.cfg.PullOnGap {
 		s.liveOrders = append(s.liveOrders, s.nextOID)

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// sampleSet draws n values spanning the histogram's interesting regimes:
+// small exact-bucket values, mid-range, and large octaves.
+func sampleSet(rng *rand.Rand, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		switch rng.Intn(3) {
+		case 0:
+			out[i] = rng.Int63n(32) // unit buckets
+		case 1:
+			out[i] = rng.Int63n(1 << 20)
+		default:
+			out[i] = rng.Int63n(1 << 50)
+		}
+	}
+	return out
+}
+
+// requireEquivalent asserts two histograms agree on every externally
+// observable statistic (counts, moments, extremes, quantiles, rendering).
+func requireEquivalent(t *testing.T, label string, got, want *Histogram) {
+	t.Helper()
+	if got.Count() != want.Count() || got.Sum() != want.Sum() {
+		t.Fatalf("%s: count/sum (%d, %d) != (%d, %d)",
+			label, got.Count(), got.Sum(), want.Count(), want.Sum())
+	}
+	if got.Min() != want.Min() || got.Max() != want.Max() {
+		t.Fatalf("%s: min/max (%d, %d) != (%d, %d)",
+			label, got.Min(), got.Max(), want.Min(), want.Max())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if g, w := got.Quantile(q), want.Quantile(q); g != w {
+			t.Fatalf("%s: q%.2f = %d, want %d", label, q, g, w)
+		}
+	}
+	if g, w := got.String(), want.String(); g != w {
+		t.Fatalf("%s: rendered summaries differ:\n got %s\nwant %s", label, g, w)
+	}
+}
+
+// Property: merging N shard histograms is indistinguishable from observing
+// the union of their samples into one histogram — for any shard count and
+// both below and above the exact-quantile threshold.
+func TestHistogramMergeEqualsUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, shards := range []int{1, 2, 3, 7} {
+		for _, perShard := range []int{0, 1, 50, exactThreshold/2 + 1, exactThreshold + 10} {
+			t.Run(fmt.Sprintf("shards=%d/per=%d", shards, perShard), func(t *testing.T) {
+				union := NewHistogram()
+				merged := NewHistogram()
+				for s := 0; s < shards; s++ {
+					shard := NewHistogram()
+					for _, v := range sampleSet(rng, perShard) {
+						shard.Observe(v)
+						union.Observe(v)
+					}
+					merged.Merge(shard)
+				}
+				requireEquivalent(t, "merged vs union", merged, union)
+			})
+		}
+	}
+}
+
+// Property: merging an empty histogram — fresh or Reset after use — is the
+// identity, in both directions.
+func TestHistogramMergeEmptyIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+
+	base := NewHistogram()
+	ref := NewHistogram()
+	for _, v := range sampleSet(rng, 200) {
+		base.Observe(v)
+		ref.Observe(v)
+	}
+
+	base.Merge(NewHistogram())
+	requireEquivalent(t, "merge fresh empty", base, ref)
+
+	used := NewHistogram()
+	for _, v := range sampleSet(rng, 50) {
+		used.Observe(v)
+	}
+	used.Reset()
+	base.Merge(used)
+	requireEquivalent(t, "merge reset histogram", base, ref)
+
+	// Empty ← full: the empty side becomes equivalent to the full side.
+	into := NewHistogram()
+	into.Merge(ref)
+	requireEquivalent(t, "merge into empty", into, ref)
+
+	// Reset ← full: a recycled histogram behaves like a fresh one.
+	used.Merge(ref)
+	requireEquivalent(t, "merge into reset", used, ref)
+}

@@ -24,9 +24,10 @@ func (c *Counter) Value() int64 { return c.n }
 // the aggregation behind Figure 2(b) (1-second windows across a trading
 // day) and Figure 2(c) (100-microsecond windows across the busiest second).
 type WindowSeries struct {
-	start  sim.Time
-	width  sim.Duration
-	counts []int64
+	start   sim.Time
+	width   sim.Duration
+	counts  []int64
+	dropped int64
 }
 
 // NewWindowSeries creates a series of n windows of the given width starting
@@ -46,10 +47,15 @@ func (w *WindowSeries) Record(t sim.Time) { w.RecordN(t, 1) }
 func (w *WindowSeries) RecordN(t sim.Time, n int64) {
 	idx := w.Index(t)
 	if idx < 0 {
+		w.dropped += n
 		return
 	}
 	w.counts[idx] += n
 }
+
+// Dropped returns the number of events recorded outside the series range
+// (before start or at/after the final window's end).
+func (w *WindowSeries) Dropped() int64 { return w.dropped }
 
 // Index returns the window index containing t, or -1 if out of range.
 func (w *WindowSeries) Index(t sim.Time) int {

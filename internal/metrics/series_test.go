@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"testing"
+
+	"tradenet/internal/sim"
+)
+
+// Out-of-range records must be counted, not silently discarded: Figure 2's
+// windowed series are also the failover experiments' evidence, and a series
+// that quietly eats late events would understate recovery tails.
+func TestWindowSeriesDropped(t *testing.T) {
+	start := sim.Time(10 * sim.Microsecond)
+	width := sim.Duration(1 * sim.Microsecond)
+	w := NewWindowSeries(start, width, 4)
+	end := start.Add(4 * width)
+
+	// Boundary instants, in order: just before start, exactly start, last
+	// instant of the final window, exactly the series end, and beyond.
+	w.Record(start.Add(-1)) // before start: dropped
+	w.Record(start)         // first instant: window 0
+	w.Record(end.Add(-1))   // last instant: window 3
+	w.Record(end)           // first instant past the series: dropped
+	w.RecordN(end.Add(5*width), 7)
+
+	if got := w.Dropped(); got != 9 {
+		t.Errorf("Dropped() = %d, want 9 (1 before start, 1 at end, 7 after)", got)
+	}
+	if got := w.Count(0); got != 1 {
+		t.Errorf("Count(0) = %d, want 1 (record at exactly start)", got)
+	}
+	if got := w.Count(3); got != 1 {
+		t.Errorf("Count(3) = %d, want 1 (record at end-1)", got)
+	}
+	if got := w.Total(); got != 2 {
+		t.Errorf("Total() = %d, want 2 — dropped events must not leak into windows", got)
+	}
+
+	// Index agrees with the drop accounting at every boundary.
+	cases := []struct {
+		at   sim.Time
+		want int
+	}{
+		{start.Add(-1), -1},
+		{start, 0},
+		{start.Add(width - 1), 0},
+		{start.Add(width), 1},
+		{end.Add(-1), 3},
+		{end, -1},
+	}
+	for _, c := range cases {
+		if got := w.Index(c.at); got != c.want {
+			t.Errorf("Index(%v) = %d, want %d", c.at, got, c.want)
+		}
+	}
+}
+
+func TestWindowSeriesDroppedZeroInitially(t *testing.T) {
+	w := NewWindowSeries(0, sim.Duration(sim.Second), 2)
+	if got := w.Dropped(); got != 0 {
+		t.Errorf("fresh series Dropped() = %d, want 0", got)
+	}
+	w.Record(sim.Time(sim.Second))
+	if got := w.Dropped(); got != 0 {
+		t.Errorf("in-range record bumped Dropped() to %d", got)
+	}
+}

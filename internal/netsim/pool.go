@@ -1,6 +1,10 @@
 package netsim
 
-import "sync"
+import (
+	"sync"
+
+	"tradenet/internal/trace"
+)
 
 // frameBufCap is the byte capacity of pooled frame buffers: comfortably
 // above the largest legal frame (pkt.MaxFrameNoFCS), so building any frame
@@ -25,6 +29,9 @@ func NewFrame() *Frame {
 	f.Data = f.Data[:0]
 	f.Origin = 0
 	f.ID = 0
+	// f.Trace is already nil: fresh frames start nil and Release clears it
+	// before pooling. Not storing here keeps this path free of GC write
+	// barriers (a nil pointer store still pays one).
 	f.released = false
 	return f
 }
@@ -45,7 +52,18 @@ func NewFrameBytes(data []byte) *Frame {
 // Frames handed to an application callback may be retained by it (e.g. a
 // normalizer defers processing); infrastructure must not release those.
 func (f *Frame) Release() {
-	if f == nil || !f.pooled || f.released {
+	if f == nil {
+		return
+	}
+	if t := f.Trace; t != nil {
+		// Catch-all terminal: a consumer done with the bytes (and anything
+		// that forgot an explicit terminal) closes the trace as consumed at
+		// its last recorded instant. Paths with a more specific terminal
+		// (drop, blackhole, loss, purge) finish the trace before releasing.
+		t.Finish(trace.EndConsumed)
+		f.Trace = nil
+	}
+	if !f.pooled || f.released {
 		return
 	}
 	f.released = true

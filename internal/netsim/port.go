@@ -11,6 +11,7 @@ import (
 
 	"tradenet/internal/pkt"
 	"tradenet/internal/sim"
+	"tradenet/internal/trace"
 	"tradenet/internal/units"
 )
 
@@ -27,17 +28,28 @@ type Frame struct {
 	Origin sim.Time
 	ID     uint64
 
+	// Trace is the flight-recorder context riding on this frame, or nil for
+	// untraced frames (the common case — every hook below is then a single
+	// nil compare). Ownership follows the frame: whoever terminates the frame
+	// finishes or hands off the trace; Release closes leftovers.
+	Trace *trace.Ctx
+
 	pooled   bool // came from framePool; Release returns it
 	released bool // double-release guard
 }
 
 // Clone returns a deep copy of the frame from the pool. Replication points
-// (multicast fan-out) clone so downstream queues own their bytes.
+// (multicast fan-out) clone so downstream queues own their bytes. A traced
+// frame's clone carries a fork of the trace (nil once the recorder is at
+// capacity — replication is where trace counts could otherwise explode).
 func (f *Frame) Clone() *Frame {
 	c := NewFrame()
 	c.Data = append(c.Data, f.Data...)
 	c.Origin = f.Origin
 	c.ID = f.ID
+	if f.Trace != nil {
+		c.Trace = trace.ForkOf(f.Trace)
+	}
 	return c
 }
 
@@ -201,6 +213,12 @@ func (p *Port) SetUp(up bool) {
 			ent := p.flyPop()
 			ent.ev.Cancel()
 			p.Lost++
+			if t := ent.f.Trace; t != nil {
+				// The in-flight span was already recorded up to the would-be
+				// delivery; the cut truncates nothing retroactively.
+				t.Finish(trace.EndLost)
+				ent.f.Trace = nil
+			}
 			ent.f.Release()
 		}
 		return
@@ -224,6 +242,11 @@ func (p *Port) PurgeQueue() int {
 		p.qhead = (p.qhead + 1) & (len(p.queue) - 1)
 		p.qlen--
 		p.Purged++
+		if t := ent.f.Trace; t != nil {
+			t.Record(p.Name, trace.CauseQueueing, p.sched.Now())
+			t.Finish(trace.EndPurged)
+			ent.f.Trace = nil
+		}
 		ent.f.Release()
 	}
 	p.queuedByte = 0
@@ -267,11 +290,19 @@ func (p *Port) Send(f *Frame) bool {
 	}
 	if p.down {
 		p.Blackholed++
+		if t := f.Trace; t != nil {
+			t.Finish(trace.EndBlackholed)
+			f.Trace = nil
+		}
 		f.Release()
 		return false
 	}
 	if p.queuedByte+len(f.Data) > p.capBytes {
 		p.Drops++
+		if t := f.Trace; t != nil {
+			t.Finish(trace.EndDropped)
+			f.Trace = nil
+		}
 		f.Release()
 		return false
 	}
@@ -350,10 +381,19 @@ func (p *Port) drain() {
 	ser := units.SerializationDelay(wire, p.rate)
 	p.TxFrames++
 	p.TxBytes += uint64(len(f.Data))
+	if t := f.Trace; t != nil {
+		// Queueing covers the wait since enqueue (the handoff cursor).
+		t.Record(p.Name, trace.CauseQueueing, now)
+	}
 
 	if p.LossProb > 0 && p.sched.Rand().Float64() < p.LossProb {
 		// The frame leaves the port but never arrives.
 		p.Lost++
+		if t := f.Trace; t != nil {
+			t.Record(p.Name, trace.CauseSerialization, now.Add(ser))
+			t.Finish(trace.EndLost)
+			f.Trace = nil
+		}
 		f.Release()
 		p.sched.AtArgs(now.Add(ser), sim.PrioDrain, drainPort, p, nil)
 		return
@@ -362,6 +402,14 @@ func (p *Port) drain() {
 	delay := ser + p.prop
 	if p.CutThrough {
 		delay = p.prop
+	}
+	if t := f.Trace; t != nil {
+		// Spans end exactly at the delivery instant, so the cursor lands on
+		// the receiver's clock with no gap (the telescoping invariant).
+		if !p.CutThrough {
+			t.Record(p.Name, trace.CauseSerialization, now.Add(ser))
+		}
+		t.Record(p.Name, trace.CausePropagation, now.Add(delay))
 	}
 	ev := p.sched.AtArgs(now.Add(delay), sim.PrioDeliver, deliverFrame, p.peer, f)
 	p.flyPush(ev, f)

@@ -3,6 +3,7 @@ package netsim
 import (
 	"tradenet/internal/pkt"
 	"tradenet/internal/sim"
+	"tradenet/internal/trace"
 )
 
 // MSS is the stream segment payload limit: a full frame minus headers.
@@ -28,6 +29,14 @@ type Stream struct {
 	freeBufs [][]byte // retired segment buffers, reused by Write
 	rto      sim.Handle
 	onRTOFn  func() // cached method value: arming the timer never allocates
+
+	// txTrace is a flight-recorder context pending attachment: the next
+	// transmitted segment carries it (retransmits never do — a trace follows
+	// the first copy onto the wire). rxTrace holds the context taken off an
+	// inbound frame for the duration of Deliver, so application callbacks can
+	// adopt it via TakeRxTrace.
+	txTrace *trace.Ctx
+	rxTrace *trace.Ctx
 
 	// RTO is the retransmission timeout. Intra-colo RTTs are microseconds;
 	// the default is generous without stalling experiments.
@@ -97,8 +106,34 @@ func (s *Stream) transmit(seg segment) {
 	f := NewFrame()
 	f.Data = pkt.AppendTCPFrame(f.Data, s.local, s.remote, &hdr, seg.data)
 	f.Origin = s.sched.Now()
+	if s.txTrace != nil {
+		f.Trace = s.txTrace
+		s.txTrace = nil
+	}
 	s.SentSegments++
 	s.nic.Send(f)
+}
+
+// AttachTxTrace hands a flight-recorder context to the stream; the next
+// transmitted segment carries it onto the wire. Attaching over a pending
+// context closes the displaced one (it never made it to a segment).
+func (s *Stream) AttachTxTrace(t *trace.Ctx) {
+	if s.txTrace != nil {
+		s.txTrace.Finish(trace.EndConsumed)
+	}
+	s.txTrace = t
+}
+
+// TakeRxTrace adopts the flight-recorder context of the frame currently
+// being delivered (nil when the frame was untraced or someone already took
+// it). Session callbacks running under Deliver call this to carry the trace
+// across their own deferred processing.
+func (s *Stream) TakeRxTrace() *trace.Ctx {
+	t := s.rxTrace
+	if t != nil {
+		s.rxTrace = nil
+	}
+	return t
 }
 
 func (s *Stream) sendAck() {
@@ -205,8 +240,17 @@ func (m *StreamMux) handle(nic *NIC, f *Frame) {
 		if s, ok := m.streams[key]; ok {
 			// Deliver consumes the payload synchronously (OnData contracts
 			// say the slice is only valid during the callback), so the frame
-			// terminates here.
+			// terminates here. The trace is parked on the stream for the
+			// callback to adopt; an unadopted trace ends as consumed.
+			if f.Trace != nil {
+				s.rxTrace = f.Trace
+				f.Trace = nil
+			}
 			s.Deliver(&tf)
+			if s.rxTrace != nil {
+				s.rxTrace.Finish(trace.EndConsumed)
+				s.rxTrace = nil
+			}
 			f.Release()
 			return
 		}

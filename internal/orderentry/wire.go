@@ -11,6 +11,7 @@ import (
 	"errors"
 
 	"tradenet/internal/market"
+	"tradenet/internal/trace"
 )
 
 // Kind identifies an order-entry message.
@@ -96,6 +97,12 @@ type Msg struct {
 	// acks — the drop-copy linkage that lets a firm recognize its own
 	// orders on the public feed.
 	ExchOrderID uint64
+
+	// Trace is the flight-recorder context following this message through a
+	// software stage. It is not a wire field: encode ignores it, decode never
+	// sets it — it exists so pooled message copies can carry the trace across
+	// a processing delay without a parallel side-channel struct.
+	Trace *trace.Ctx
 }
 
 // HeaderLen is the fixed message prefix: length (2), kind (1), seq (4).

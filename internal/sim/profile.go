@@ -1,0 +1,61 @@
+package sim
+
+import "math/bits"
+
+// WheelLevels exports the number of timing-wheel levels for observability
+// consumers (the metrics registry reports per-level placement counts and
+// occupancy without depending on wheel internals).
+const WheelLevels = wheelLevels
+
+// Profile is the scheduler's self-profile: how events were dispatched and
+// where they landed in the wheel. The counters are plain increments on paths
+// the scheduler already executes, so profiling is always on and costs a few
+// adds per event — it never branches on configuration and cannot perturb the
+// schedule.
+type Profile struct {
+	// Fired is the total number of events executed (== Scheduler.Fired).
+	Fired uint64
+	// FiredClosure / FiredArgs2 / FiredArgs3 split Fired by handler kind:
+	// captured closures, two-argument closure-free callbacks, and
+	// three-argument closure-free callbacks. A hot simulation should be
+	// dominated by the Args kinds; a high closure share on a hot path is
+	// what the hotalloc analyzer exists to catch.
+	FiredClosure uint64
+	FiredArgs2   uint64
+	FiredArgs3   uint64
+
+	// PlacedSingle counts schedules that took the lone-pending-event fast
+	// path and never touched a wheel slot.
+	PlacedSingle uint64
+	// PlacedLevel counts wheel insertions by level, including re-insertions
+	// when a higher-level slot cascades toward level 0 — so the sum exceeds
+	// the number of distinct scheduled events by exactly the cascade
+	// re-placement work performed.
+	PlacedLevel [WheelLevels]uint64
+	// PlacedOverflow counts events parked beyond the wheel horizon.
+	PlacedOverflow uint64
+	// Cascades counts higher-level slot evacuations during pop.
+	Cascades uint64
+}
+
+// Profile returns a snapshot of the scheduler's self-profile.
+func (s *Scheduler) Profile() Profile {
+	p := s.prof
+	p.Fired = s.fired
+	return p
+}
+
+// Occupancy returns the number of occupied slots per wheel level right now —
+// a direct popcount over the occupancy bitmaps, independent of the profile
+// counters. The lone held-out event (the single fast path) occupies no slot.
+func (s *Scheduler) Occupancy() [WheelLevels]int {
+	var out [WheelLevels]int
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		n := 0
+		for w := 0; w < wheelWords; w++ {
+			n += bits.OnesCount64(s.occ[lvl][w])
+		}
+		out[lvl] = n
+	}
+	return out
+}

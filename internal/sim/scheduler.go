@@ -199,6 +199,9 @@ type Scheduler struct {
 	overflow []*Event
 
 	free *Event // recycled Event storage, linked through next
+
+	// prof accumulates the always-on self-profile (see profile.go).
+	prof Profile
 }
 
 // NewScheduler returns a scheduler at time zero whose random source is
@@ -247,6 +250,7 @@ func (s *Scheduler) Reset(seed int64) {
 	s.now, s.cur = 0, 0
 	s.seq, s.fired, s.pending = 0, 0, 0
 	s.halted = false
+	s.prof = Profile{}
 	s.rng = rand.New(rand.NewSource(seed))
 }
 
@@ -348,6 +352,7 @@ func (s *Scheduler) schedule(t Time, prio int) *Event {
 		// schedule and pop are a pointer store and load.
 		e.level = levelSingle
 		s.single = e
+		s.prof.PlacedSingle++
 		return e
 	}
 	if w := s.single; w != nil {
@@ -369,6 +374,7 @@ func (s *Scheduler) place(e *Event) {
 		s.overflowInsert(e)
 		return
 	}
+	s.prof.PlacedLevel[lvl]++
 	slot := int(uint64(e.at)>>tickBits>>(lvl*wheelBits)) & wheelMask
 	e.level, e.slot = int8(lvl), uint8(slot)
 	if s.wheel[lvl] == nil {
@@ -450,6 +456,7 @@ func overflowLess(a, b *Event) bool {
 // memmove; overflow events are rare far-future timers).
 func (s *Scheduler) overflowInsert(e *Event) {
 	e.level = levelOverflow
+	s.prof.PlacedOverflow++
 	lo, hi := 0, len(s.overflow)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -544,6 +551,7 @@ func (s *Scheduler) pop() *Event {
 				e = nx
 			}
 			cascaded = true
+			s.prof.Cascades++
 			break
 		}
 		if cascaded {
@@ -698,10 +706,13 @@ func (s *Scheduler) step() bool {
 	a, b, c := e.arg1, e.arg2, e.arg3
 	switch {
 	case fn != nil:
+		s.prof.FiredClosure++
 		fn()
 	case fnArg != nil:
+		s.prof.FiredArgs2++
 		fnArg(a, b)
 	default:
+		s.prof.FiredArgs3++
 		fnArg3(a, b, c)
 	}
 	s.release(e)

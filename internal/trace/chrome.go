@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"tradenet/internal/sim"
+)
+
+// WriteChrome emits finished traces in the Chrome trace-event JSON array
+// format (load in chrome://tracing or Perfetto). Each span becomes one
+// complete ("X") event; spans of one trace share a tid (the trace ID plus
+// fork ordinal scaled), so a message's hops line up on one row. Timestamps
+// are virtual microseconds with sub-µs precision preserved as fractions.
+//
+// Output is deterministic: traces appear in finish order and spans in record
+// order, with fixed number formatting — two runs from one seed produce
+// byte-identical files (the determinism test enforces this).
+func WriteChrome(w io.Writer, traces []*Ctx) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[\n")
+	first := true
+	for _, c := range traces {
+		tid := c.ID*1000 + uint64(c.Fork)
+		for _, s := range c.spans {
+			if !first {
+				bw.WriteString(",\n")
+			}
+			first = false
+			bw.WriteString(`{"name":`)
+			bw.WriteString(strconv.Quote(s.Where))
+			bw.WriteString(`,"cat":"`)
+			bw.WriteString(s.Cause.String())
+			bw.WriteString(`","ph":"X","ts":`)
+			writeMicros(bw, sim.Duration(s.Start))
+			bw.WriteString(`,"dur":`)
+			writeMicros(bw, s.End.Sub(s.Start))
+			bw.WriteString(`,"pid":1,"tid":`)
+			bw.WriteString(strconv.FormatUint(tid, 10))
+			bw.WriteString(`,"args":{"trace":`)
+			bw.WriteString(strconv.FormatUint(c.ID, 10))
+			bw.WriteString(`,"fork":`)
+			bw.WriteString(strconv.Itoa(c.Fork))
+			bw.WriteString(`,"end":"`)
+			bw.WriteString(c.end.String())
+			bw.WriteString(`"}}`)
+		}
+	}
+	bw.WriteString("\n]\n")
+	return bw.Flush()
+}
+
+// writeMicros renders a picosecond quantity as decimal microseconds with
+// exact fixed-point formatting (no float rounding, so output is stable).
+func writeMicros(bw *bufio.Writer, ps sim.Duration) {
+	const psPerUs = 1_000_000
+	whole := int64(ps) / psPerUs
+	frac := int64(ps) % psPerUs
+	if frac < 0 {
+		frac = -frac
+	}
+	bw.WriteString(strconv.FormatInt(whole, 10))
+	if frac != 0 {
+		s := strconv.FormatInt(frac+psPerUs, 10) // "1xxxxxx": keeps leading zeros
+		s = s[1:]
+		for len(s) > 0 && s[len(s)-1] == '0' {
+			s = s[:len(s)-1]
+		}
+		bw.WriteByte('.')
+		bw.WriteString(s)
+	}
+}
