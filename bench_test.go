@@ -370,3 +370,21 @@ func BenchmarkAttribution(b *testing.B) {
 	b.ReportMetric(float64(d3.ByCause[trace.CauseSwitching])/float64(d3.Accepted)/1000, "d3-switching-ns")
 	b.ReportMetric(float64(d1.Reconciled+d3.Reconciled), "reconciled-traces")
 }
+
+// BenchmarkOEFailover (E21) kills the order-entry path mid-burst in all
+// three designs and reports the session-resilience headline numbers.
+func BenchmarkOEFailover(b *testing.B) {
+	var r core.OEFailoverReport
+	for i := 0; i < b.N; i++ {
+		r = core.RunOEFailover(core.SmallScenario(), core.Seeds(1, 1))
+	}
+	d1 := r.Runs[0].Designs[0]
+	b.ReportMetric(d1.DetectIn.Microseconds(), "d1-detect-µs")
+	b.ReportMetric(float64(d1.CODCancels), "d1-cod-cancels")
+	b.ReportMetric(float64(d1.Replayed), "d1-replayed-msgs")
+	ok := 0.0
+	if r.AllInvariantsOK() {
+		ok = 1.0
+	}
+	b.ReportMetric(ok, "invariants-ok")
+}

@@ -36,6 +36,7 @@
 //	stalequotes E18 — the cost of latency: repricing races an aggressor
 //	failover    E19 — deterministic fault injection: spine kill + WAN outage
 //	attribution E20 — flight-recorder latency attribution across designs
+//	oefailover  E21 — order-entry session kill: liveness, cancel-on-disconnect, replay
 //
 // Pass -csv <dir> to also export the Figure 2 data series as CSV. Pass
 // -trace <file> with -experiment attribution to export the recorded spans
@@ -114,6 +115,7 @@ var experiments = []experimentSpec{
 		fmt.Println(core.RunStaleQuotes(lats, 20, 15*sim.Microsecond, c.seed))
 	}},
 	{"failover", func(c runCfg) { fmt.Println(core.RunFailover(c.sc, core.Seeds(c.seed, c.reps))) }},
+	{"oefailover", func(c runCfg) { fmt.Println(core.RunOEFailover(c.sc, core.Seeds(c.seed, c.reps))) }},
 	{"attribution", func(c runCfg) {
 		r := core.RunAttribution(c.sc, c.bursts)
 		fmt.Println(r)

@@ -28,6 +28,11 @@ type Design1 struct {
 	Strats   []*firm.Strategy
 	Gws      []*firm.Gateway
 
+	// ExSessions[i] is the exchange's side of gateway i's order-entry
+	// session — the handle failover experiments use to inspect ownership
+	// and working-order state.
+	ExSessions []*orderentry.ExchangeSession
+
 	RawMap *mcast.Map
 	OutMap *mcast.Map
 
@@ -130,14 +135,25 @@ func subscriptionSlice(i, parts int) []int {
 // wireSessions dials every order-entry session: gateways to the exchange,
 // strategies to gateways.
 func (d *Design1) wireSessions() {
+	if d.Scenario.OEResilience {
+		d.Ex.EnableResilience(oeExchangeResilience())
+	}
 	for i, g := range d.Gws {
-		_, exPort := d.Ex.AcceptSession(g.ExNIC().Addr(uint16(41000 + i)))
+		addr := g.ExNIC().Addr(uint16(41000 + i))
+		sess, exPort := d.Ex.AcceptSession(addr)
+		d.ExSessions = append(d.ExSessions, sess)
 		g.ConnectExchange(uint16(41000+i), d.Ex.OENIC().Addr(exPort))
+		if d.Scenario.OEResilience {
+			hardenGateway(g, d.Ex, sess, addr)
+		}
 	}
 	for i, s := range d.Strats {
 		g := d.Gws[i%len(d.Gws)]
 		gwPort := g.AcceptStrategy(s.OENIC().Addr(uint16(42000 + i)))
 		s.ConnectGateway(uint16(42000+i), g.InNIC().Addr(gwPort))
+		if d.Scenario.OEResilience {
+			hardenStrategyBehindGateway(s)
+		}
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"tradenet/internal/market"
 	"tradenet/internal/mcast"
 	"tradenet/internal/netsim"
+	"tradenet/internal/orderentry"
 	"tradenet/internal/pkt"
 	"tradenet/internal/sim"
 	"tradenet/internal/units"
@@ -29,6 +30,10 @@ type Design2 struct {
 	Ex       *exchange.Exchange
 	Strats   []*firm.Strategy
 	OutMap   *mcast.Map
+
+	// ExSessions[i] is the exchange's side of tenant i's order-entry
+	// session (see Design1.ExSessions).
+	ExSessions []*orderentry.ExchangeSession
 
 	// arrivals[ipID][tenant] records market-data delivery times for skew
 	// analysis; the zero Time means "not delivered to this tenant" (nothing
@@ -58,6 +63,9 @@ func NewDesign2(sc Scenario, tenantLat []sim.Duration, equalize bool) *Design2 {
 	netsim.Connect(d.Ex.MDNIC().Port, d.EqMD.ExchangePort(), units.Rate10G, 0)
 	netsim.Connect(d.Ex.OENIC().Port, d.EqOE.ExchangePort(), units.Rate10G, 0)
 
+	if sc.OEResilience {
+		d.Ex.EnableResilience(oeExchangeResilience())
+	}
 	for i := 0; i < len(tenantLat); i++ {
 		// Every tenant takes the full feed: fairness is only observable on
 		// data everyone receives.
@@ -83,8 +91,13 @@ func NewDesign2(sc Scenario, tenantLat []sim.Duration, equalize bool) *Design2 {
 		}
 
 		// Cloud tenants talk straight to the exchange: no gateway tier.
-		_, exPort := d.Ex.AcceptSession(s.OENIC().Addr(uint16(42000 + i)))
+		addr := s.OENIC().Addr(uint16(42000 + i))
+		sess, exPort := d.Ex.AcceptSession(addr)
+		d.ExSessions = append(d.ExSessions, sess)
 		s.ConnectGateway(uint16(42000+i), d.Ex.OENIC().Addr(exPort))
+		if sc.OEResilience {
+			hardenTenant(s, d.Ex, sess, addr)
+		}
 		d.Strats = append(d.Strats, s)
 	}
 	return d

@@ -8,6 +8,7 @@ import (
 	"tradenet/internal/firm"
 	"tradenet/internal/market"
 	"tradenet/internal/mcast"
+	"tradenet/internal/orderentry"
 	"tradenet/internal/sim"
 	"tradenet/internal/topo"
 )
@@ -25,6 +26,10 @@ type Design3 struct {
 	Norms    []*firm.Normalizer
 	Strats   []*firm.Strategy
 	Gws      []*firm.Gateway
+
+	// ExSessions[i] is the exchange's side of gateway i's order-entry
+	// session (see Design1.ExSessions).
+	ExSessions []*orderentry.ExchangeSession
 
 	RawMap *mcast.Map
 	OutMap *mcast.Map
@@ -145,14 +150,25 @@ func NewDesign3(sc Scenario, maxSubs int) *Design3 {
 }
 
 func (d *Design3) wireSessions() {
+	if d.Scenario.OEResilience {
+		d.Ex.EnableResilience(oeExchangeResilience())
+	}
 	for i, g := range d.Gws {
-		_, exPort := d.Ex.AcceptSession(g.ExNIC().Addr(uint16(41000 + i)))
+		addr := g.ExNIC().Addr(uint16(41000 + i))
+		sess, exPort := d.Ex.AcceptSession(addr)
+		d.ExSessions = append(d.ExSessions, sess)
 		g.ConnectExchange(uint16(41000+i), d.Ex.OENIC().Addr(exPort))
+		if d.Scenario.OEResilience {
+			hardenGateway(g, d.Ex, sess, addr)
+		}
 	}
 	for i, s := range d.Strats {
 		g := d.Gws[i%len(d.Gws)]
 		gwPort := g.AcceptStrategy(s.OENIC().Addr(uint16(42000 + i)))
 		s.ConnectGateway(uint16(42000+i), g.InNIC().Addr(gwPort))
+		if d.Scenario.OEResilience {
+			hardenStrategyBehindGateway(s)
+		}
 	}
 }
 

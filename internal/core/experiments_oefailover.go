@@ -1,0 +1,368 @@
+package core
+
+import (
+	"fmt"
+
+	"tradenet/internal/device"
+	"tradenet/internal/exchange"
+	"tradenet/internal/fault"
+	"tradenet/internal/firm"
+	"tradenet/internal/metrics"
+	"tradenet/internal/orderentry"
+	"tradenet/internal/sim"
+)
+
+// Order-entry failover experiment (E21): kill the order-entry path of one
+// participant mid-burst in each of the three designs and watch the session
+// layer put the world back together. The victim's transport dies instantly
+// (a process crash on the OE path); the exchange only learns through
+// heartbeat silence, then cancels everything the dead session owns
+// (cancel-on-disconnect) and publishes the removals on the feed. The victim
+// redials after a deliberate back-off, resyncs by sequence, receives the
+// retained responses it missed — acks, fills, and the cancel-on-disconnect
+// cancels — and reconciles its working-order view off the replay. Orders
+// whose acks died on the wire are resubmitted and absorbed by the
+// exchange's idempotent duplicate handling, so nothing executes twice.
+//
+// The run checks the invariants that make such a recovery trustworthy:
+//
+//   - no duplicate fills: no client order ever fills past its submitted
+//     quantity (Overfills == 0), even though in-flight orders are resubmitted;
+//   - no orphaned liquidity: a probe between cancel-on-disconnect and the
+//     redial finds zero resting orders owned by the dead session;
+//   - reconciled views: at the end of the run every client's working-order
+//     set is byte-for-byte the exchange's view of that session's book;
+//   - determinism: the whole faulted run is a pure function of the seed
+//     (the test reruns it and compares reports byte for byte).
+
+// Session-kill schedule: bursts every oefBurstInterval from oefBurstStart;
+// the victim dies just before burst oefDropBurst publishes, so that burst's
+// orders fly into the dead transport. The orphan probe lands after the
+// liveness deadline (1.5–2 ms to detect) but before the redial
+// (oeReconnectDelay after detection).
+const (
+	oefBursts        = 10
+	oefBurstInterval = 2 * sim.Millisecond
+	oefDropBurst     = 3
+	oefOrphanProbe   = 4 * sim.Millisecond
+	oefDrain         = 11 * sim.Millisecond
+)
+
+// oePlant is one design reduced to what the session-kill run needs: the
+// scheduler, the exchange, the session pairs (exchange side index-aligned
+// with client side), and the victim endpoint (always index 0).
+type oePlant struct {
+	name    string
+	sched   *sim.Scheduler
+	ex      *exchange.Exchange
+	exSess  []*orderentry.ExchangeSession
+	clients []*orderentry.ClientSession
+	victim  fault.SessionDropper
+	gws     []*firm.Gateway // nil in the cloud design
+	strats  []*firm.Strategy
+}
+
+func oePlantDesign1(sc Scenario) oePlant {
+	d := NewDesign1(sc, device.DefaultCommodityConfig())
+	p := oePlant{
+		name: "Design 1 (leaf-spine)", sched: d.Sched, ex: d.Ex,
+		exSess: d.ExSessions, victim: d.Gws[0], gws: d.Gws, strats: d.Strats,
+	}
+	for _, g := range d.Gws {
+		p.clients = append(p.clients, g.ExchangeSession())
+	}
+	return p
+}
+
+func oePlantDesign2(sc Scenario) oePlant {
+	lats := []sim.Duration{5 * sim.Microsecond, 20 * sim.Microsecond, 12 * sim.Microsecond}
+	d := NewDesign2(sc, lats, true)
+	p := oePlant{
+		name: "Design 2 (cloud)", sched: d.Sched, ex: d.Ex,
+		exSess: d.ExSessions, victim: d.Strats[0], strats: d.Strats,
+	}
+	for _, s := range d.Strats {
+		p.clients = append(p.clients, s.Session())
+	}
+	return p
+}
+
+func oePlantDesign3(sc Scenario) oePlant {
+	d := NewDesign3(sc, 0)
+	p := oePlant{
+		name: "Design 3 (L1S)", sched: d.Sched, ex: d.Ex,
+		exSess: d.ExSessions, victim: d.Gws[0], gws: d.Gws, strats: d.Strats,
+	}
+	for _, g := range d.Gws {
+		p.clients = append(p.clients, g.ExchangeSession())
+	}
+	return p
+}
+
+// OEDesignRun is one design's session-kill run.
+type OEDesignRun struct {
+	Design string
+	Victim string
+
+	// Invariant probes. DetectIn is drop → exchange-side peer-death
+	// (cancel-on-disconnect instant); OrphansAtProbe is the dead session's
+	// resting-order count after cancel-on-disconnect (must be 0);
+	// ViewMismatch counts sessions whose end-of-run client working-order
+	// set differs from the exchange's (must be 0); Overfills counts fills
+	// past submitted quantity — the duplicate-execution signature (must
+	// be 0).
+	DetectIn       sim.Duration
+	OrphansAtProbe int
+	ViewMismatch   int
+	Overfills      uint64
+
+	// Resilience machinery counters, summed across sessions.
+	CODCancels    uint64 // exchange cancels issued by cancel-on-disconnect
+	Replayed      uint64 // retained responses replayed at resync
+	DupSuppressed uint64 // idempotent duplicate submissions absorbed
+	ResyncRefused uint64 // resyncs refused (retain window rolled out)
+	Resubmits     uint64 // client new-order re-emissions
+	BusyRejects   uint64 // submissions shed by the ingress token bucket
+	Reconnects    uint64 // sessions redialed
+	Halts         uint64 // strategy quote halts
+	Resumes       uint64 // strategy quote resumptions
+	Rejected      uint64 // requests failed fast while the path was down
+	Unknowns      uint64 // orders escalated as unknown
+
+	Orders   uint64 // orders the exchange accepted over the run
+	Registry string // metrics registry dump (oe.* et al.)
+	FaultLog string
+}
+
+// runOEDesign runs the session-kill schedule against one plant.
+func runOEDesign(p oePlant, sc Scenario) OEDesignRun {
+	res := OEDesignRun{Design: p.name, Victim: p.victim.FaultName()}
+	sched := p.sched
+
+	perBurst := sc.BurstMessages / oefBursts
+	if perBurst < 1 {
+		perBurst = 1
+	}
+	burstStart := sim.Time(5 * sim.Millisecond) // logons drain first
+	// The drop lands inside burst oefDropBurst's tick-to-trade window: the
+	// burst has published and its orders are mid-flight on the OE path, so
+	// the kill catches unacknowledged orders and in-flight responses — the
+	// hardest case for the replay/resubmit reconciliation.
+	dropAt := burstStart.Add(sim.Duration(oefDropBurst)*oefBurstInterval + 12*sim.Microsecond)
+
+	plan := fault.NewPlan(sched)
+	plan.SessionDrop(p.victim, dropAt)
+
+	for b := 0; b < oefBursts; b++ {
+		sched.At(burstStart.Add(sim.Duration(b)*oefBurstInterval), func() {
+			p.ex.PublishBurst(sched.Rand(), perBurst)
+		})
+	}
+	p.ex.OnOrderAccepted = func(*orderentry.Msg, sim.Time) { res.Orders++ }
+
+	// Stamp the exchange-side death declaration without disturbing the
+	// cancel-on-disconnect hook it triggers.
+	vSess := p.exSess[0]
+	onDead := vSess.OnPeerDead
+	vSess.OnPeerDead = func() {
+		if res.DetectIn == 0 {
+			res.DetectIn = sched.Now().Sub(dropAt)
+		}
+		if onDead != nil {
+			onDead()
+		}
+	}
+
+	// Orphan probe: after cancel-on-disconnect, before the redial, nothing
+	// in the book may still belong to the dead session.
+	sched.AtPrio(dropAt.Add(oefOrphanProbe), sim.PrioReport, func() {
+		res.OrphansAtProbe = p.ex.OpenOrdersOf(vSess)
+	})
+
+	// Liveness timers re-arm forever, so the run bounds itself by deadline
+	// rather than queue exhaustion.
+	end := burstStart.Add(sim.Duration(oefBursts)*oefBurstInterval + oefDrain)
+	sched.RunUntil(end)
+
+	// Reconciliation invariant: every client's working-order view must
+	// equal the exchange's view of that session, victim included.
+	for i, es := range p.exSess {
+		if !equalIDs(p.ex.WorkingOrders(es), p.clients[i].OpenIDs()) {
+			res.ViewMismatch++
+		}
+	}
+
+	res.CODCancels = p.ex.CancelOnDisconnect
+	for _, es := range p.exSess {
+		res.Replayed += es.ReplayedMsgs
+		res.DupSuppressed += es.DupSuppressed
+		res.ResyncRefused += es.ResyncRefused
+		res.BusyRejects += es.BusyRejects
+	}
+	for _, cs := range p.clients {
+		res.Resubmits += cs.Resubmits
+		res.Overfills += cs.Overfills
+	}
+	for _, g := range p.gws {
+		res.Reconnects += g.Reconnects
+		res.Rejected += g.SessionDownRejects
+		res.Unknowns += g.Unknowns
+	}
+	for _, s := range p.strats {
+		res.Halts += s.Halts
+		res.Resumes += s.Resumes
+		if p.gws == nil { // cloud: strategies own the session machinery
+			res.Reconnects += s.Reconnects
+			res.Unknowns += s.UnknownOrders
+		}
+	}
+
+	reg := metrics.NewRegistry()
+	reg.RegisterUint("oe.retries", &res.Resubmits)
+	reg.RegisterUint("oe.busy_rejects", &res.BusyRejects)
+	reg.RegisterUint("oe.cancel_on_disconnect", &p.ex.CancelOnDisconnect)
+	reg.RegisterUint("oe.sessions_dropped", &p.ex.SessionsDropped)
+	reg.RegisterUint("oe.replayed", &res.Replayed)
+	reg.RegisterUint("oe.dup_suppressed", &res.DupSuppressed)
+	reg.RegisterUint("oe.reconnects", &res.Reconnects)
+	reg.RegisterUint("oe.halts", &res.Halts)
+	res.Registry = reg.String()
+	res.FaultLog = plan.LogString()
+	return res
+}
+
+// equalIDs compares two sorted id slices.
+func equalIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// InvariantsOK reports whether a run upheld the recovery contract.
+func (r OEDesignRun) InvariantsOK() bool {
+	return r.DetectIn > 0 && // the exchange noticed the death
+		r.OrphansAtProbe == 0 && // cancel-on-disconnect cleared the book
+		r.ViewMismatch == 0 && // every view reconciled
+		r.Overfills == 0 && // nothing executed twice
+		r.Reconnects > 0 // the victim made it back in
+}
+
+// OEFailoverResult is one seed's three design runs.
+type OEFailoverResult struct {
+	Seed    int64
+	Designs []OEDesignRun
+}
+
+// OEFailoverReport is the order-entry failover experiment replicated
+// across seeds.
+type OEFailoverReport struct {
+	Seeds []int64
+	Runs  []OEFailoverResult
+}
+
+// AllInvariantsOK reports whether every design run of every seed upheld
+// the recovery contract.
+func (r OEFailoverReport) AllInvariantsOK() bool {
+	for _, run := range r.Runs {
+		for _, d := range run.Designs {
+			if !d.InvariantsOK() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RunOEFailover kills the order-entry path mid-burst in all three designs
+// for every seed, in parallel, results in seed order. Each run is a pure
+// function of its seed.
+func RunOEFailover(sc Scenario, seeds []int64) OEFailoverReport {
+	s := sc
+	s.OEResilience = true
+	out := OEFailoverReport{Seeds: seeds}
+	out.Runs = RunParallel(seeds, func(seed int64) OEFailoverResult {
+		sd := s
+		sd.Seed = seed
+		return OEFailoverResult{
+			Seed: seed,
+			Designs: []OEDesignRun{
+				runOEDesign(oePlantDesign1(sd), sd),
+				runOEDesign(oePlantDesign2(sd), sd),
+				runOEDesign(oePlantDesign3(sd), sd),
+			},
+		}
+	})
+	return out
+}
+
+// String renders the report: one table row per seed×design, the first
+// seed's metrics registry, and the first seed's fault timeline.
+func (r OEFailoverReport) String() string {
+	rows := make([][]string, 0, len(r.Runs)*3)
+	for _, run := range r.Runs {
+		for _, d := range run.Designs {
+			verdict := "ok"
+			if !d.InvariantsOK() {
+				verdict = "VIOLATED"
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", run.Seed),
+				d.Design,
+				d.Victim,
+				d.DetectIn.String(),
+				fmt.Sprintf("%d", d.OrphansAtProbe),
+				fmt.Sprintf("%d", d.CODCancels),
+				fmt.Sprintf("%d", d.Replayed),
+				fmt.Sprintf("%d/%d", d.Resubmits, d.DupSuppressed),
+				fmt.Sprintf("%d", d.BusyRejects),
+				fmt.Sprintf("%d", d.Reconnects),
+				fmt.Sprintf("%d/%d", d.Halts, d.Resumes),
+				fmt.Sprintf("%d", d.Rejected),
+				fmt.Sprintf("%d", d.Orders),
+				verdict,
+			})
+		}
+	}
+	out := fmt.Sprintf("Order-entry session failover, %d seed(s)\n\n", len(r.Seeds))
+	out += "A participant's OE path dies mid-burst; the exchange detects via heartbeat\n" +
+		"silence, cancels the dead session's orders, and the victim redials, resyncs by\n" +
+		"sequence, and reconciles off the replayed responses. Invariants: no orphaned\n" +
+		"resting orders, no duplicate executions, client and exchange views equal.\n"
+	out += metrics.Table(
+		[]string{"seed", "design", "victim", "detect", "orphans", "COD", "replayed",
+			"resub/dup", "shed", "redials", "halts/resumes", "fastfail", "orders", "invariants"},
+		rows)
+	if len(r.Runs) > 0 {
+		first := r.Runs[0]
+		out += fmt.Sprintf("\nMetrics registry (seed %d, %s):\n%s", first.Seed,
+			first.Designs[0].Design, first.Designs[0].Registry)
+		out += fmt.Sprintf("\nFault timeline (seed %d):\n", first.Seed)
+		for _, d := range first.Designs {
+			out += fmt.Sprintf("  %s:\n%s", d.Design, indent(d.FaultLog))
+		}
+	}
+	return out
+}
+
+// indent shifts a rendered block right by two spaces for nesting.
+func indent(s string) string {
+	out := ""
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != '\n' {
+			i++
+		}
+		out += "  " + s[:i] + "\n"
+		if i < len(s) {
+			i++
+		}
+		s = s[i:]
+	}
+	return out
+}

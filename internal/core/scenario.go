@@ -41,6 +41,14 @@ type Scenario struct {
 	// failover experiment turns this on to count pulls under fabric faults.
 	PullOnGap bool
 
+	// OEResilience arms the order-entry resilience layer end to end:
+	// heartbeat liveness on every exchange-facing session, cancel-on-
+	// disconnect with response retention and idempotent resubmission at the
+	// exchange, ack-timeout retry and reconnect-with-replay at the firm,
+	// quote halting in strategies, and ingress shedding. Off (the default)
+	// leaves the order path byte-identical to the legacy happy-path plant.
+	OEResilience bool
+
 	// Seed drives all randomness.
 	Seed int64
 }

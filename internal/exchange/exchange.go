@@ -66,6 +66,16 @@ type Exchange struct {
 	// schedules allocation-free via AfterArgs3.
 	msgFree []*orderentry.Msg
 
+	// res, when set, hardens accepted sessions (resilience.go); links maps
+	// each session to its current transport so reconnects can swap streams.
+	res   *Resilience
+	links map[*orderentry.ExchangeSession]*oeLink
+
+	// CancelOnDisconnect counts orders mass-canceled for dead sessions;
+	// SessionsDropped counts peer-death declarations acted on.
+	CancelOnDisconnect uint64
+	SessionsDropped    uint64
+
 	// Published counts market-data datagrams sent; PublishedMsgs counts the
 	// messages inside them (failover completeness checks compare receiver
 	// message counts against it).
@@ -110,6 +120,7 @@ func New(sched *sim.Scheduler, u *market.Universe, pmap *mcast.Map, cfg Config) 
 		partMap:    pmap,
 		owners:     make(map[market.OrderID]ownerRef),
 		byOwner:    make(map[ownerKey]market.OrderID),
+		links:      make(map[*orderentry.ExchangeSession]*oeLink),
 		nextOEPort: OEBasePort,
 	}
 	e.host = netsim.NewHost(sched, cfg.Name)
@@ -194,30 +205,37 @@ func (e *Exchange) AcceptSession(clientAddr pkt.UDPAddr) (*orderentry.ExchangeSe
 		}
 	}
 	e.mux.Register(stream)
+	// The link indirection lets a reconnect swap the transport under the
+	// session while these closures keep working.
+	link := &oeLink{stream: stream}
+	e.links[sess] = link
 
 	sess.Validate = e.validate
 	// Each handler adopts the trace parked on the stream by the mux (nil when
 	// untraced) so the match-latency wait is attributed to exchange software.
 	sess.OnNew = func(m *orderentry.Msg) {
 		c := e.copyMsg(m)
-		if t := stream.TakeRxTrace(); t != nil {
+		if t := link.stream.TakeRxTrace(); t != nil {
 			c.Trace = t
 		}
 		e.sched.AfterArgs3(e.cfg.MatchLatency, sim.PrioDeliver, execNewArgs, e, sess, c)
 	}
 	sess.OnCancel = func(m *orderentry.Msg) {
 		c := e.copyMsg(m)
-		if t := stream.TakeRxTrace(); t != nil {
+		if t := link.stream.TakeRxTrace(); t != nil {
 			c.Trace = t
 		}
 		e.sched.AfterArgs3(e.cfg.MatchLatency, sim.PrioDeliver, execCancelArgs, e, sess, c)
 	}
 	sess.OnModify = func(m *orderentry.Msg) {
 		c := e.copyMsg(m)
-		if t := stream.TakeRxTrace(); t != nil {
+		if t := link.stream.TakeRxTrace(); t != nil {
 			c.Trace = t
 		}
 		e.sched.AfterArgs3(e.cfg.MatchLatency, sim.PrioDeliver, execModifyArgs, e, sess, c)
+	}
+	if e.res != nil {
+		e.applyResilience(sess, stream)
 	}
 	return sess, port
 }

@@ -1,0 +1,144 @@
+// Exchange-side order-entry resilience: cancel-on-disconnect, reconnect
+// acceptance, and transport hardening. All of it is opt-in through
+// EnableResilience; an exchange without it schedules exactly as before.
+package exchange
+
+import (
+	"fmt"
+	"sort"
+
+	"tradenet/internal/feed"
+	"tradenet/internal/market"
+	"tradenet/internal/netsim"
+	"tradenet/internal/orderentry"
+	"tradenet/internal/pkt"
+	"tradenet/internal/sim"
+)
+
+// Resilience bundles the exchange's order-entry hardening knobs, applied to
+// every session accepted after EnableResilience.
+type Resilience struct {
+	// Session configures liveness, response retention, idempotent duplicate
+	// suppression, and ingress shedding on each accepted session.
+	Session orderentry.ExchangeResilience
+	// StreamMaxRTO enables exponential retransmission backoff on OE
+	// transport streams (zero keeps the fixed interval).
+	StreamMaxRTO sim.Duration
+	// StreamDeadAfter caps no-progress retransmission rounds before the
+	// transport declares the connection dead (zero: never).
+	StreamDeadAfter int
+}
+
+// EnableResilience arms order-entry hardening for sessions accepted from
+// now on. Call it before wiring sessions.
+func (e *Exchange) EnableResilience(cfg Resilience) { e.res = &cfg }
+
+// oeLink tracks the current transport under a session; reconnects swap the
+// stream while the session (and the closures holding the link) survive.
+type oeLink struct{ stream *netsim.Stream }
+
+// applyResilience hardens a freshly accepted session and its transport.
+func (e *Exchange) applyResilience(sess *orderentry.ExchangeSession, stream *netsim.Stream) {
+	sess.Harden(e.sched, e.res.Session)
+	sess.OnPeerDead = func() { e.cancelOnDisconnect(sess) }
+	sess.OnLogout = func() { e.massCancel(sess) }
+	e.hardenStream(stream, sess)
+}
+
+// hardenStream applies transport-level backoff/dead detection and converges
+// a transport death onto the same peer-death path liveness uses.
+func (e *Exchange) hardenStream(stream *netsim.Stream, sess *orderentry.ExchangeSession) {
+	stream.MaxRTO = e.res.StreamMaxRTO
+	stream.DeadAfter = e.res.StreamDeadAfter
+	if e.res.StreamDeadAfter > 0 {
+		stream.OnDead = sess.Drop
+	}
+}
+
+// cancelOnDisconnect is the venue-mandated response to a dead order-entry
+// peer: kill the transport (stop retransmitting into the void) and remove
+// every resting order the session owns.
+func (e *Exchange) cancelOnDisconnect(sess *orderentry.ExchangeSession) {
+	e.SessionsDropped++
+	if link, ok := e.links[sess]; ok {
+		link.stream.Kill()
+	}
+	e.massCancel(sess)
+}
+
+// massCancel removes a session's resting orders from the books, publishing
+// each removal on the feed and emitting a cancel-ack into the session. On a
+// dead session those acks die on the killed stream but stay in the retained
+// response window — a reconnecting client replays them and reconciles its
+// working-order view without a special mass-cancel message.
+func (e *Exchange) massCancel(sess *orderentry.ExchangeSession) {
+	ids := make([]market.OrderID, 0, 8)
+	for exID, ref := range e.owners { // keys collected then sorted below
+		if ref.sess == sess {
+			ids = append(ids, exID)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, exID := range ids {
+		ref := e.owners[exID]
+		if e.Book(ref.sym).Cancel(exID) {
+			e.CancelOnDisconnect++
+			sess.CancelAck(ref.clientID)
+			e.publish(ref.sym, &feed.Msg{
+				Type: feed.MsgDeleteOrder, TimeNs: e.timeNs(), OrderID: uint64(exID),
+			})
+		}
+		e.dropOwner(exID)
+	}
+}
+
+// ReacceptSession provisions a fresh transport for a reconnecting client
+// and rebinds its retained session to it. Session state — sequences,
+// retained responses, seen order ids — survives; that continuity is what
+// makes replay-based resync possible. Returns the new TCP port to dial.
+func (e *Exchange) ReacceptSession(sess *orderentry.ExchangeSession, clientAddr pkt.UDPAddr) uint16 {
+	port := e.nextOEPort
+	e.nextOEPort++
+	stream := netsim.NewStream(e.oeNIC, port, clientAddr)
+	sess.Rebind(func(b []byte) { stream.Write(b) })
+	stream.OnData = func(b []byte) {
+		if err := sess.Receive(b); err != nil {
+			panic(fmt.Sprintf("%s: order session: %v", e.cfg.Name, err))
+		}
+	}
+	e.mux.Register(stream)
+	if link, ok := e.links[sess]; ok {
+		link.stream = stream
+	} else {
+		e.links[sess] = &oeLink{stream: stream}
+	}
+	if e.res != nil {
+		e.hardenStream(stream, sess)
+	}
+	return port
+}
+
+// OpenOrdersOf counts resting orders owned by a session — the invariant
+// probe the failover experiments run after cancel-on-disconnect.
+func (e *Exchange) OpenOrdersOf(sess *orderentry.ExchangeSession) int {
+	n := 0
+	for _, ref := range e.owners {
+		if ref.sess == sess {
+			n++
+		}
+	}
+	return n
+}
+
+// WorkingOrders returns the sorted client order ids resting for a session —
+// the exchange's half of the "reconnected view matches the book" invariant.
+func (e *Exchange) WorkingOrders(sess *orderentry.ExchangeSession) []uint64 {
+	var ids []uint64
+	for _, ref := range e.owners {
+		if ref.sess == sess {
+			ids = append(ids, ref.clientID)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

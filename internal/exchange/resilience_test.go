@@ -1,0 +1,163 @@
+package exchange
+
+import (
+	"testing"
+
+	"tradenet/internal/feed"
+	"tradenet/internal/market"
+	"tradenet/internal/mcast"
+	"tradenet/internal/netsim"
+	"tradenet/internal/orderentry"
+	"tradenet/internal/pkt"
+	"tradenet/internal/sim"
+	"tradenet/internal/units"
+)
+
+// codFixture is the newFixture plant with the exchange's order-entry
+// hardening armed before the session is accepted (EnableResilience must
+// precede AcceptSession), keeping the session handle the probes need.
+type codFixture struct {
+	fixture
+	sess *orderentry.ExchangeSession
+}
+
+func newCODFixture(t *testing.T) *codFixture {
+	t.Helper()
+	f := &codFixture{fixture: fixture{
+		sched: sim.NewScheduler(21), u: testUniverse(), reasm: make(map[uint8]*feed.Reassembler),
+	}}
+	pmap := mcast.NewMap(mcast.NewPartitioner(f.u, mcast.ByAlpha, 0), mcast.NewAllocator(1))
+	f.ex = New(f.sched, f.u, pmap, Config{
+		ID: 1, Name: "EXCH-A", Variant: feed.ExchangeA,
+		MatchLatency: 2 * sim.Microsecond, HostID: 100,
+	})
+	f.ex.EnableResilience(Resilience{
+		Session: orderentry.ExchangeResilience{
+			Liveness:        orderentry.LivenessConfig{Interval: 500 * sim.Microsecond, MissLimit: 3},
+			RetainResponses: 256,
+			Idempotent:      true,
+		},
+		StreamMaxRTO:    3200 * sim.Microsecond,
+		StreamDeadAfter: 8,
+	})
+
+	mdHost := netsim.NewHost(f.sched, "md-rx")
+	f.mdRx = mdHost.AddNIC("md", 200)
+	netsim.Connect(f.ex.MDNIC().Port, f.mdRx.Port, units.Rate10G, 0)
+	for i, g := range pmap.Groups() {
+		f.mdRx.Join(g)
+		f.reasm[uint8(i)] = feed.NewReassembler(uint8(i))
+	}
+	f.mdRx.OnFrame = func(_ *netsim.NIC, fr *netsim.Frame) {
+		var uf pkt.UDPFrame
+		if err := pkt.ParseUDPFrame(fr.Data, &uf); err != nil {
+			t.Fatalf("md frame parse: %v", err)
+		}
+		var h feed.UnitHeader
+		if _, err := feed.DecodeUnitHeader(uf.Payload, &h); err != nil {
+			t.Fatalf("unit header: %v", err)
+		}
+		f.reasm[h.Unit].Consume(uf.Payload, func(m *feed.Msg) {
+			f.mdMsgs = append(f.mdMsgs, *m)
+		})
+	}
+
+	oeHost := netsim.NewHost(f.sched, "client")
+	oeNIC := oeHost.AddNIC("oe", 300)
+	netsim.Connect(oeNIC.Port, f.ex.OENIC().Port, units.Rate10G, 500*sim.Nanosecond)
+	f.oeNIC, f.clientMux = oeNIC, netsim.NewStreamMux(oeNIC)
+	sess, exPort := f.ex.AcceptSession(oeNIC.Addr(40000))
+	f.sess = sess
+	cs := netsim.NewStream(oeNIC, 40000, f.ex.OENIC().Addr(exPort))
+	f.clientMux.Register(cs)
+	f.client = orderentry.NewClientSession(func(b []byte) { cs.Write(b) })
+	cs.OnData = func(b []byte) {
+		if err := f.client.Receive(b); err != nil {
+			t.Fatalf("client receive: %v", err)
+		}
+	}
+	return f
+}
+
+func TestExchangeCancelOnDisconnect(t *testing.T) {
+	f := newCODFixture(t)
+	aapl, _ := f.u.Lookup("AAPL")
+	msft, _ := f.u.Lookup("MSFT")
+	f.sched.At(0, func() { f.client.Logon() })
+	f.sched.After(sim.Millisecond, func() {
+		f.client.NewOrder(1, aapl, market.Buy, 1500000, 100)
+		f.client.NewOrder(2, msft, market.Buy, 900000, 50)
+	})
+	// ...and then the client falls silent forever: no heartbeats, no logout.
+	// The exchange's liveness deadline must fire and sweep the book.
+	f.run()
+
+	if f.ex.SessionsDropped != 1 {
+		t.Fatalf("sessions dropped = %d", f.ex.SessionsDropped)
+	}
+	if f.ex.CancelOnDisconnect != 2 {
+		t.Fatalf("cancel-on-disconnect = %d, want 2", f.ex.CancelOnDisconnect)
+	}
+	if n := f.ex.OpenOrdersOf(f.sess); n != 0 {
+		t.Fatalf("open orders after disconnect = %d", n)
+	}
+	if bbo := f.ex.BBO(aapl); bbo.Bid.Size != 0 {
+		t.Fatalf("AAPL bid survived cancel-on-disconnect: %+v", bbo.Bid)
+	}
+	// Each removal was published on the feed — downstream books must learn
+	// the liquidity is gone.
+	var deletes int
+	for _, m := range f.mdMsgs {
+		if m.Type == feed.MsgDeleteOrder {
+			deletes++
+		}
+	}
+	if deletes != 2 {
+		t.Fatalf("feed deletes = %d, want 2", deletes)
+	}
+}
+
+func TestExchangeReacceptReplaysCancels(t *testing.T) {
+	f := newCODFixture(t)
+	aapl, _ := f.u.Lookup("AAPL")
+	var cancelAcks int
+	f.client.OnCancelAck = func(uint64) { cancelAcks++ }
+	f.sched.At(0, func() { f.client.Logon() })
+	f.sched.After(sim.Millisecond, func() {
+		f.client.NewOrder(1, aapl, market.Buy, 1500000, 100)
+	})
+	// Well after cancel-on-disconnect has swept the book, the client
+	// redials: fresh transport, same session, and a logon naming the next
+	// sequence it expects. The retained cancel-ack must replay so the
+	// client's working-order view converges with the (now empty) book.
+	f.sched.At(sim.Time(6*sim.Millisecond), func() {
+		exPort := f.ex.ReacceptSession(f.sess, f.oeNIC.Addr(40001))
+		cs2 := netsim.NewStream(f.oeNIC, 40001, f.ex.OENIC().Addr(exPort))
+		f.clientMux.Register(cs2)
+		f.client.Drop()
+		f.client.Rebind(func(b []byte) { cs2.Write(b) })
+		cs2.OnData = func(b []byte) {
+			if err := f.client.Receive(b); err != nil {
+				t.Fatalf("client receive after redial: %v", err)
+			}
+		}
+		f.client.Relogon()
+	})
+	f.run()
+
+	if !f.client.LoggedOn() {
+		t.Fatal("relogon failed")
+	}
+	if f.sess.ReplayedMsgs == 0 {
+		t.Fatal("nothing replayed on resync")
+	}
+	if cancelAcks != 1 {
+		t.Fatalf("replayed cancel acks = %d, want 1", cancelAcks)
+	}
+	if ids := f.client.OpenIDs(); len(ids) != 0 {
+		t.Fatalf("client still believes orders %v are working", ids)
+	}
+	if got := len(f.ex.WorkingOrders(f.sess)); got != 0 {
+		t.Fatalf("exchange working orders = %d, want 0", got)
+	}
+}

@@ -49,6 +49,12 @@ const (
 	// SwitchRecover restores a failed device; reconvergence (if the
 	// topology has a control plane) begins from here.
 	SwitchRecover
+	// SessionDrop kills an order-entry session endpoint: its transport dies
+	// instantly (a process crash, a yanked cable on the OE path) and the
+	// surviving peer only learns through liveness. Recovery — reconnect,
+	// replay, cancel-on-disconnect — is the session layer's job, so the
+	// event has no paired "recover".
+	SessionDrop
 )
 
 // String names the kind.
@@ -66,6 +72,8 @@ func (k Kind) String() string {
 		return "SwitchFail"
 	case SwitchRecover:
 		return "SwitchRecover"
+	case SessionDrop:
+		return "SessionDrop"
 	}
 	return "Unknown"
 }
@@ -81,6 +89,17 @@ type Switch interface {
 	Fail()
 	// Recover returns the device to service.
 	Recover()
+}
+
+// SessionDropper is an endpoint owning an order-entry session that a plan
+// can kill as a unit (a gateway, or a strategy holding its own exchange
+// session). The implementation owns the consequences: killing the
+// transport, tearing down session state, and any scheduled reconnect.
+type SessionDropper interface {
+	// FaultName identifies the endpoint in the event log.
+	FaultName() string
+	// DropSession kills the endpoint's order-entry session.
+	DropSession()
 }
 
 // Record is one fault event that fired, in firing order.
@@ -174,6 +193,16 @@ func (p *Plan) SwitchOutage(sw Switch, at sim.Time, d sim.Duration) {
 	p.sched.AtPrio(at.Add(d), sim.PrioControl, func() {
 		sw.Recover()
 		p.record(SwitchRecover, sw.FaultName())
+	})
+}
+
+// SessionDrop kills target's order-entry session at instant at. There is
+// no paired recovery event: whether and when the endpoint reconnects is its
+// own (deterministic) policy.
+func (p *Plan) SessionDrop(target SessionDropper, at sim.Time) {
+	p.sched.AtPrio(at, sim.PrioControl, func() {
+		target.DropSession()
+		p.record(SessionDrop, target.FaultName())
 	})
 }
 

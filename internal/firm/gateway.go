@@ -34,6 +34,11 @@ type Gateway struct {
 
 	exSession *orderentry.ClientSession
 	exStream  *netsim.Stream
+	exMux     *netsim.StreamMux
+	exPort    uint16
+
+	// res, when set, hardens the exchange-facing session (resilience.go).
+	res *GatewayResilience
 
 	// id translation: exchange-facing id ↔ (internal session, internal id).
 	nextExID uint64
@@ -54,6 +59,10 @@ type Gateway struct {
 	// Stats.
 	Relayed   uint64
 	Responses uint64
+	// Resilience stats (resilience.go).
+	Reconnects         uint64 // exchange-session redials completed
+	Unknowns           uint64 // orders escalated as unknown to their owner
+	SessionDownRejects uint64 // requests failed fast while the session was down
 }
 
 type clientRef struct {
@@ -117,9 +126,10 @@ func (g *Gateway) ExNIC() *netsim.NIC { return g.exNIC }
 
 // ConnectExchange opens the gateway's session to an exchange order port.
 func (g *Gateway) ConnectExchange(localPort uint16, exchangeAddr pkt.UDPAddr) {
-	mux := netsim.NewStreamMux(g.exNIC)
+	g.exMux = netsim.NewStreamMux(g.exNIC)
+	g.exPort = localPort
 	g.exStream = netsim.NewStream(g.exNIC, localPort, exchangeAddr)
-	mux.Register(g.exStream)
+	g.exMux.Register(g.exStream)
 	g.exSession = orderentry.NewClientSession(func(b []byte) { g.exStream.Write(b) })
 	g.exStream.OnData = func(b []byte) { g.exSession.Receive(b) }
 
@@ -234,6 +244,16 @@ func (g *Gateway) copyReq(sess *orderentry.ExchangeSession, m *orderentry.Msg) *
 // to the Scheduler's closure-free two-argument callback shape.
 func relayNewArgs(a, b any) {
 	g, r := a.(*Gateway), b.(*relayReq)
+	if g.res != nil && !g.exSession.LoggedOn() {
+		// Exchange session down: fail fast so the owner learns now, instead
+		// of the order dying silently in a dead socket.
+		r.tr.Finish(trace.EndConsumed)
+		r.tr = nil
+		g.SessionDownRejects++
+		r.sess.Reject(r.m.OrderID, orderentry.RejectSessionDown)
+		g.releaseReq(r)
+		return
+	}
 	g.nextExID++
 	exID := g.nextExID
 	ref := clientRef{sess: r.sess, id: r.m.OrderID}
@@ -247,6 +267,14 @@ func relayNewArgs(a, b any) {
 
 func relayCancelArgs(a, b any) {
 	g, r := a.(*Gateway), b.(*relayReq)
+	if g.res != nil && !g.exSession.LoggedOn() {
+		r.tr.Finish(trace.EndConsumed)
+		r.tr = nil
+		g.SessionDownRejects++
+		r.sess.CancelReject(r.m.OrderID)
+		g.releaseReq(r)
+		return
+	}
 	ref := clientRef{sess: r.sess, id: r.m.OrderID}
 	if exID, ok := g.toExID[ref]; ok {
 		g.Relayed++
@@ -262,6 +290,14 @@ func relayCancelArgs(a, b any) {
 
 func relayModifyArgs(a, b any) {
 	g, r := a.(*Gateway), b.(*relayReq)
+	if g.res != nil && !g.exSession.LoggedOn() {
+		r.tr.Finish(trace.EndConsumed)
+		r.tr = nil
+		g.SessionDownRejects++
+		r.sess.CancelReject(r.m.OrderID)
+		g.releaseReq(r)
+		return
+	}
 	ref := clientRef{sess: r.sess, id: r.m.OrderID}
 	if exID, ok := g.toExID[ref]; ok {
 		g.Relayed++

@@ -1,0 +1,232 @@
+// Firm-side order-entry resilience: the gateway hardens its exchange-facing
+// session (liveness, ack-timeout resubmission, reconnect with sequence
+// resync) and escalates unrecoverable orders to their owners; strategies
+// halt quoting when their order path degrades and re-enter deterministically.
+// Everything is opt-in — an unhardened gateway or strategy behaves exactly
+// as before.
+package firm
+
+import (
+	"tradenet/internal/netsim"
+	"tradenet/internal/orderentry"
+	"tradenet/internal/pkt"
+	"tradenet/internal/sim"
+)
+
+// GatewayResilience parameterizes the gateway's exchange-session hardening.
+type GatewayResilience struct {
+	// Liveness arms heartbeats and peer-death detection toward the exchange.
+	Liveness orderentry.LivenessConfig
+	// Retry arms ack-timeout resubmission with capped exponential backoff.
+	Retry orderentry.RetryConfig
+	// ReconnectDelay is how long after peer-death the gateway waits before
+	// dialing back in.
+	ReconnectDelay sim.Duration
+	// Reconnect provisions a replacement endpoint at the exchange and
+	// returns the new address to dial (core wires it to ReacceptSession).
+	// Nil disables reconnection: the session stays dead.
+	Reconnect func() pkt.UDPAddr
+	// StreamMaxRTO / StreamDeadAfter harden the exchange-facing transport
+	// (exponential RTO backoff, connection-dead detection).
+	StreamMaxRTO    sim.Duration
+	StreamDeadAfter int
+}
+
+// HardenExchangeSession arms resilience on the exchange-facing session.
+// Call after ConnectExchange.
+func (g *Gateway) HardenExchangeSession(cfg GatewayResilience) {
+	g.res = &cfg
+	s := g.exSession
+	s.OnPeerDead = g.onExchangeDead
+	s.OnOrderUnknown = g.escalateUnknown
+	if cfg.Retry.AckTimeout > 0 {
+		s.EnableRetry(g.sched, cfg.Retry)
+	}
+	g.hardenExStream()
+	if cfg.Liveness.Interval > 0 {
+		s.StartLiveness(g.sched, cfg.Liveness)
+	}
+}
+
+func (g *Gateway) hardenExStream() {
+	g.exStream.MaxRTO = g.res.StreamMaxRTO
+	g.exStream.DeadAfter = g.res.StreamDeadAfter
+	if g.res.StreamDeadAfter > 0 {
+		// A transport death converges on the same peer-death path liveness
+		// uses; declarePeerDead is idempotent, whichever fires first wins.
+		g.exStream.OnDead = g.exSession.Drop
+	}
+}
+
+// FaultName identifies the gateway in a fault plan's event log.
+func (g *Gateway) FaultName() string { return g.host.Name }
+
+// DropSession models the local side of an order-entry cut (fault
+// injection): the transport dies instantly and the session tears down
+// without waiting for the liveness deadline.
+func (g *Gateway) DropSession() {
+	g.exStream.Kill()
+	g.exSession.Drop()
+}
+
+// onExchangeDead runs at the exact virtual instant the exchange is declared
+// unreachable: retire the transport and schedule the redial.
+func (g *Gateway) onExchangeDead() {
+	g.exStream.Kill()
+	if g.res == nil || g.res.Reconnect == nil {
+		return
+	}
+	g.sched.AfterArgs(g.res.ReconnectDelay, sim.PrioControl, gwReconnectArgs, g, nil)
+}
+
+// gwReconnectArgs adapts the redial to the scheduler's closure-free
+// callback shape.
+func gwReconnectArgs(a, _ any) { a.(*Gateway).reconnectExchange() }
+
+// reconnectExchange dials the replacement exchange endpoint and resumes the
+// session on it: same local port (the remote port changed, so the mux key
+// is fresh), sequence resync via Relogon, orders reconciled off the replay.
+func (g *Gateway) reconnectExchange() {
+	remote := g.res.Reconnect()
+	g.exStream = netsim.NewStream(g.exNIC, g.exPort, remote)
+	g.exMux.Register(g.exStream)
+	g.exStream.OnData = func(b []byte) { g.exSession.Receive(b) }
+	g.hardenExStream()
+	g.exSession.Rebind(func(b []byte) { g.exStream.Write(b) })
+	g.Reconnects++
+	g.exSession.Relogon()
+}
+
+// escalateUnknown tells an order's owner that its fate is unknowable: the
+// exchange session died and resubmission was exhausted. The id mappings are
+// dropped so a late cancel resolves as unknown rather than dangling.
+func (g *Gateway) escalateUnknown(exID uint64) {
+	ref, ok := g.byExID[exID]
+	if !ok {
+		return
+	}
+	delete(g.byExID, exID)
+	delete(g.toExID, ref)
+	delete(g.exchIDs, exID)
+	g.Unknowns++
+	ref.sess.Reject(ref.id, orderentry.RejectSessionDown)
+}
+
+// ---------------------------------------------------------------------------
+// Strategy resilience
+
+// StrategyResilience parameterizes a strategy's order-path hardening. The
+// session-level knobs (liveness, retry, reconnect) matter when the strategy
+// speaks to the exchange directly (the cloud design); behind a gateway the
+// halt/requote behavior is the active part.
+type StrategyResilience struct {
+	Liveness orderentry.LivenessConfig
+	Retry    orderentry.RetryConfig
+	// ReconnectDelay / Reconnect mirror the gateway's redial machinery.
+	ReconnectDelay sim.Duration
+	Reconnect      func() pkt.UDPAddr
+	// RequoteDelay is how long the strategy stays out of the market after a
+	// session-down signal before quoting again. Zero keeps it halted until
+	// the session re-logs-on.
+	RequoteDelay    sim.Duration
+	StreamMaxRTO    sim.Duration
+	StreamDeadAfter int
+}
+
+// EnableResilience arms order-path hardening. Call after ConnectGateway.
+func (s *Strategy) EnableResilience(cfg StrategyResilience) {
+	s.res = &cfg
+	sess := s.session
+	sess.OnPeerDead = s.onSessionDead
+	sess.OnOrderUnknown = func(uint64) {
+		s.UnknownOrders++
+		s.haltQuoting()
+	}
+	sess.OnReject = func(_ uint64, r orderentry.RejectReason) {
+		// A busy venue or a dead session both mean the same thing to a
+		// market maker: trust in the order path is gone, stop quoting.
+		if r == orderentry.RejectSessionDown || r == orderentry.RejectBusy {
+			s.haltQuoting()
+		}
+	}
+	sess.OnLogon = func() { s.resumeQuoting() }
+	if cfg.Retry.AckTimeout > 0 {
+		sess.EnableRetry(s.sched, cfg.Retry)
+	}
+	s.hardenOEStream()
+	if cfg.Liveness.Interval > 0 {
+		sess.StartLiveness(s.sched, cfg.Liveness)
+	}
+}
+
+func (s *Strategy) hardenOEStream() {
+	s.stream.MaxRTO = s.res.StreamMaxRTO
+	s.stream.DeadAfter = s.res.StreamDeadAfter
+	if s.res.StreamDeadAfter > 0 {
+		s.stream.OnDead = s.session.Drop
+	}
+}
+
+// FaultName identifies the strategy in a fault plan's event log.
+func (s *Strategy) FaultName() string { return s.host.Name }
+
+// DropSession models the local side of an order-entry cut (fault
+// injection) for strategies that hold the exchange session themselves.
+func (s *Strategy) DropSession() {
+	s.stream.Kill()
+	s.session.Drop()
+}
+
+// Halted reports whether the strategy is currently out of the market.
+func (s *Strategy) Halted() bool { return s.halted }
+
+// haltQuoting takes the strategy out of the market; with a RequoteDelay it
+// re-enters on a timer, otherwise on the next logon.
+func (s *Strategy) haltQuoting() {
+	if s.halted {
+		return
+	}
+	s.halted = true
+	s.Halts++
+	if s.res.RequoteDelay > 0 {
+		s.sched.AfterArgs(s.res.RequoteDelay, sim.PrioControl, requoteArgs, s, nil)
+	}
+}
+
+// requoteArgs adapts the requote timer to the scheduler's closure-free
+// callback shape.
+func requoteArgs(a, _ any) { a.(*Strategy).resumeQuoting() }
+
+func (s *Strategy) resumeQuoting() {
+	if !s.halted {
+		return
+	}
+	s.halted = false
+	s.Resumes++
+}
+
+// onSessionDead mirrors the gateway's death path: halt, retire the
+// transport, schedule the redial.
+func (s *Strategy) onSessionDead() {
+	s.haltQuoting()
+	s.stream.Kill()
+	if s.res == nil || s.res.Reconnect == nil {
+		return
+	}
+	s.sched.AfterArgs(s.res.ReconnectDelay, sim.PrioControl, stratReconnectArgs, s, nil)
+}
+
+// stratReconnectArgs adapts the redial to the scheduler's closure-free
+// callback shape.
+func stratReconnectArgs(a, _ any) { a.(*Strategy).reconnectSession() }
+
+func (s *Strategy) reconnectSession() {
+	remote := s.res.Reconnect()
+	s.stream = netsim.NewStream(s.oeNIC, s.oePort, remote)
+	s.oeMux.Register(s.stream)
+	s.stream.OnData = func(b []byte) { s.session.Receive(b) }
+	s.hardenOEStream()
+	s.session.Rebind(func(b []byte) { s.stream.Write(b) })
+	s.Reconnects++
+	s.session.Relogon()
+}

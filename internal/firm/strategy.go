@@ -56,7 +56,14 @@ type Strategy struct {
 
 	session *orderentry.ClientSession
 	stream  *netsim.Stream
+	oeMux   *netsim.StreamMux
+	oePort  uint16
 	nextOID uint64
+
+	// res, when set, hardens the order path (resilience.go); halted gates
+	// decision firing while the path is untrusted.
+	res    *StrategyResilience
+	halted bool
 	// liveOrders tracks submitted order ids in submission order (only when
 	// PullOnGap is set), so a pull cancels deterministically — never by
 	// iterating the session's map.
@@ -87,6 +94,12 @@ type Strategy struct {
 	GapsSeen     uint64 // sequence gaps detected on the normalized feed
 	QuotePulls   uint64 // gap-triggered pull events (PullOnGap)
 	PulledOrders uint64 // cancels sent by those pulls
+	// Resilience stats (resilience.go).
+	Halts         uint64 // times quoting was halted on a degraded order path
+	Resumes       uint64 // times quoting resumed
+	HaltedOrders  uint64 // decisions suppressed while halted
+	UnknownOrders uint64 // orders escalated as unknown
+	Reconnects    uint64 // order-session redials completed
 }
 
 // NewStrategy builds a strategy host subscribed to the chosen partitions of
@@ -135,9 +148,10 @@ func (s *Strategy) Session() *orderentry.ClientSession { return s.session }
 // order-entry session over a reliable stream. The gateway must already have
 // accepted at gwAddr.
 func (s *Strategy) ConnectGateway(localPort uint16, gwAddr pkt.UDPAddr) {
-	mux := netsim.NewStreamMux(s.oeNIC)
+	s.oeMux = netsim.NewStreamMux(s.oeNIC)
+	s.oePort = localPort
 	s.stream = netsim.NewStream(s.oeNIC, localPort, gwAddr)
-	mux.Register(s.stream)
+	s.oeMux.Register(s.stream)
 	s.session = orderentry.NewClientSession(func(b []byte) { s.stream.Write(b) })
 	s.stream.OnData = func(b []byte) { s.session.Receive(b) }
 	s.session.OnFill = func(uint64, market.Qty, market.Price, bool) { s.Fills++ }
@@ -309,6 +323,13 @@ func (s *Strategy) fireDecision(d *pendingDecision) {
 	book, price, qty, side, tr := d.book, d.price, d.qty, d.side, d.tr
 	*d = pendingDecision{}
 	s.decFree = append(s.decFree, d)
+	if s.halted {
+		// The order path is untrusted (session down, orders unknown, or the
+		// venue shedding): quoting into it would strand more orders.
+		s.HaltedOrders++
+		tr.Finish(trace.EndConsumed)
+		return
+	}
 	if tr != nil {
 		// Receive path + trigger + decision latency: one software span.
 		tr.Record(s.host.Name, trace.CauseSoftware, s.sched.Now())

@@ -41,15 +41,31 @@ type Stream struct {
 	// RTO is the retransmission timeout. Intra-colo RTTs are microseconds;
 	// the default is generous without stalling experiments.
 	RTO sim.Duration
+	// MaxRTO, when non-zero, enables exponential retransmission backoff:
+	// each timeout round without forward ACK progress doubles the interval,
+	// capped here; progress resets to RTO. Zero keeps the legacy fixed
+	// interval (and its retransmit storm across a long outage).
+	MaxRTO sim.Duration
+	// DeadAfter, when non-zero, caps consecutive no-progress retransmission
+	// rounds: past it the connection is declared dead — writes drop, the
+	// timer stops — and OnDead fires once. Zero retransmits forever.
+	DeadAfter int
+	// OnDead fires once when the retransmit cap is exhausted.
+	OnDead func()
+
+	dead      bool
+	rtoRounds int          // consecutive timeout rounds without progress
+	curRTO    sim.Duration // backed-off interval; 0 means base RTO
 
 	// OnData receives in-order stream bytes. The slice is only valid during
 	// the callback.
 	OnData func([]byte)
 
 	// Stats.
-	Retransmits  uint64
-	SentSegments uint64
-	RecvSegments uint64
+	Retransmits   uint64
+	SentSegments  uint64
+	RecvSegments  uint64
+	DroppedWrites uint64 // writes discarded because the stream was dead
 }
 
 type segment struct {
@@ -81,7 +97,13 @@ func (s *Stream) Remote() pkt.UDPAddr { return s.remote }
 func (s *Stream) InFlight() int { return int(s.sndNxt - s.sndUna) }
 
 // Write queues data for reliable delivery and transmits it immediately.
+// Writes on a dead stream are dropped (and counted): the bytes a process
+// writes into a cut connection go nowhere.
 func (s *Stream) Write(data []byte) {
+	if s.dead {
+		s.DroppedWrites++
+		return
+	}
 	for len(data) > 0 {
 		n := len(data)
 		if n > MSS {
@@ -147,32 +169,82 @@ func (s *Stream) sendAck() {
 func (s *Stream) armRTO() {
 	s.rto.Cancel()
 	s.rto = sim.Handle{}
-	if len(s.unacked) == 0 {
+	if len(s.unacked) == 0 || s.dead {
 		return
 	}
-	s.rto = s.sched.After(s.RTO, s.onRTOFn).Handle()
+	d := s.RTO
+	if s.curRTO > 0 {
+		d = s.curRTO
+	}
+	s.rto = s.sched.After(d, s.onRTOFn).Handle()
 }
 
 func (s *Stream) onRTO() {
 	s.rto = sim.Handle{}
-	if len(s.unacked) == 0 {
+	if len(s.unacked) == 0 || s.dead {
 		return
 	}
+	if s.DeadAfter > 0 && s.rtoRounds >= s.DeadAfter {
+		s.declareDead(true)
+		return
+	}
+	s.rtoRounds++
 	// Go-back-N: retransmit everything outstanding.
 	for _, seg := range s.unacked {
 		s.Retransmits++
 		s.transmit(seg)
 	}
+	if s.MaxRTO > 0 {
+		// Exponential backoff: double the interval each silent round so a
+		// long outage costs O(log) retransmit rounds, not O(outage/RTO).
+		if s.curRTO == 0 {
+			s.curRTO = s.RTO
+		}
+		s.curRTO *= 2
+		if s.curRTO > s.MaxRTO {
+			s.curRTO = s.MaxRTO
+		}
+	}
 	s.armRTO()
 }
 
-// Deliver ingests one TCP frame addressed to this stream.
+// declareDead retires the stream after the peer stayed unreachable through
+// the whole retransmission schedule. Writes drop from here on; recovery is
+// the session layer's job (reconnect on a fresh stream).
+func (s *Stream) declareDead(fire bool) {
+	if s.dead {
+		return
+	}
+	s.dead = true
+	s.rto.Cancel()
+	s.rto = sim.Handle{}
+	if fire && s.OnDead != nil {
+		s.OnDead()
+	}
+}
+
+// Kill marks the stream dead without firing OnDead: fault injection uses it
+// for the local side of a cut, and reconnect logic uses it to retire a
+// replaced stream.
+func (s *Stream) Kill() { s.declareDead(false) }
+
+// Dead reports whether the stream has been declared dead.
+func (s *Stream) Dead() bool { return s.dead }
+
+// Deliver ingests one TCP frame addressed to this stream. A dead stream
+// ignores everything — its socket is gone.
 func (s *Stream) Deliver(f *pkt.TCPFrame) {
+	if s.dead {
+		return
+	}
 	// ACK processing: drop fully acknowledged segments.
 	if f.TCP.Flags&pkt.FlagACK != 0 {
 		ack := f.TCP.Ack
 		if int32(ack-s.sndUna) > 0 {
 			s.sndUna = ack
+			// Forward progress: the path is alive, reset the backoff.
+			s.rtoRounds = 0
+			s.curRTO = 0
 			keep := s.unacked[:0]
 			for _, seg := range s.unacked {
 				if int32(seg.seq+uint32(len(seg.data))-ack) > 0 {

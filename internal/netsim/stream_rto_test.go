@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+
+	"tradenet/internal/sim"
+)
+
+// outagePair wires two hosts and cuts the link (both directions) for the
+// window [at, at+d).
+func outagePair(t *testing.T, sched *sim.Scheduler, at sim.Time, d sim.Duration) (*Stream, *Stream) {
+	t.Helper()
+	s1, s2, p1, p2 := hostPair(t, sched, 0)
+	sched.At(at, func() {
+		p1.SetUp(false)
+		p2.SetUp(false)
+	})
+	sched.At(at.Add(d), func() {
+		p1.SetUp(true)
+		p2.SetUp(true)
+	})
+	return s1, s2
+}
+
+// TestStreamRTOBackoffLimitsRetransmitStorm is the satellite fix for the
+// fixed-interval retransmit storm: across a long outage a legacy stream
+// fires a retransmission every RTO forever, while a backed-off stream's
+// interval doubles to MaxRTO — an order of magnitude fewer wasted sends —
+// and both still deliver everything once the link heals.
+func TestStreamRTOBackoffLimitsRetransmitStorm(t *testing.T) {
+	const outage = 40 * sim.Millisecond
+	run := func(maxRTO sim.Duration) (uint64, bool) {
+		sched := sim.NewScheduler(1)
+		s1, s2 := outagePair(t, sched, sim.Time(sim.Millisecond), outage)
+		s1.MaxRTO = maxRTO
+		var got bytes.Buffer
+		s2.OnData = func(b []byte) { got.Write(b) }
+		sched.At(0, func() { s1.Write([]byte("resting order book state")) })
+		// Written into the dead link: this segment retransmits across the
+		// whole outage (the sub-µs RTT acks anything sent before the cut).
+		sched.At(sim.Time(1010*sim.Microsecond), func() { s1.Write([]byte(" plus one torn update")) })
+		sched.Run()
+		return s1.Retransmits, got.String() == "resting order book state plus one torn update"
+	}
+
+	legacy, legacyOK := run(0)
+	backed, backedOK := run(3200 * sim.Microsecond)
+	if !legacyOK || !backedOK {
+		t.Fatalf("delivery incomplete: legacy=%v backoff=%v", legacyOK, backedOK)
+	}
+	// Legacy: one round per 200 µs RTO across 40 ms ≈ 200 rounds. Backoff:
+	// 200, 400, ..., 3200 µs then capped ≈ 16 rounds.
+	if legacy < 100 {
+		t.Fatalf("legacy retransmits = %d, expected a storm (>=100)", legacy)
+	}
+	if backed >= legacy/4 {
+		t.Fatalf("backoff retransmits = %d vs legacy %d: backoff did not tame the storm", backed, legacy)
+	}
+}
+
+func TestStreamBackoffResetsOnProgress(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	s1, s2 := outagePair(t, sched, sim.Time(sim.Millisecond), 10*sim.Millisecond)
+	s1.MaxRTO = 3200 * sim.Microsecond
+	var got bytes.Buffer
+	s2.OnData = func(b []byte) { got.Write(b) }
+	sched.At(sim.Time(1010*sim.Microsecond), func() { s1.Write([]byte("first")) })
+	// Well after recovery (interval has backed off and then been acked):
+	// new traffic must retransmit at the base RTO again, i.e. promptly.
+	sched.At(sim.Time(20*sim.Millisecond), func() { s1.Write([]byte(" second")) })
+	sched.Run()
+	if got.String() != "first second" {
+		t.Fatalf("got %q", got.String())
+	}
+	if s1.Dead() {
+		t.Fatal("stream died despite recovery")
+	}
+}
+
+func TestStreamDeadAfterFiresOnDeadTransport(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	s1, s2, p1, p2 := hostPair(t, sched, 0)
+	s1.MaxRTO = 800 * sim.Microsecond
+	s1.DeadAfter = 4
+	var diedAt sim.Time
+	s1.OnDead = func() { diedAt = sched.Now() }
+	// Hard-fail the link forever: the stream must give up, not spin.
+	sched.At(sim.Time(sim.Millisecond), func() {
+		p1.SetUp(false)
+		p2.SetUp(false)
+	})
+	sched.At(sim.Time(1010*sim.Microsecond), func() { s1.Write([]byte("doomed")) })
+	sched.Run()
+
+	if !s1.Dead() || diedAt == 0 {
+		t.Fatalf("stream not declared dead (dead=%v at=%v)", s1.Dead(), diedAt)
+	}
+	retransAtDeath := s1.Retransmits
+	// A dead stream is inert: writes are dropped and counted, no new timers.
+	s1.Write([]byte("after death"))
+	if s1.DroppedWrites != 1 {
+		t.Fatalf("dropped writes = %d, want 1", s1.DroppedWrites)
+	}
+	sched.Run()
+	if s1.Retransmits != retransAtDeath {
+		t.Fatalf("dead stream kept retransmitting: %d -> %d", retransAtDeath, s1.Retransmits)
+	}
+	_ = s2
+}
+
+func TestStreamKillIsSilent(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	s1, _, _, _ := hostPair(t, sched, 0)
+	fired := false
+	s1.OnDead = func() { fired = true }
+	s1.Kill()
+	if !s1.Dead() {
+		t.Fatal("killed stream not dead")
+	}
+	if fired {
+		t.Fatal("Kill must not fire OnDead (the local side already knows)")
+	}
+	s1.Write([]byte("x"))
+	if s1.DroppedWrites != 1 {
+		t.Fatalf("dropped writes = %d", s1.DroppedWrites)
+	}
+}

@@ -1,0 +1,161 @@
+package orderentry
+
+import (
+	"bytes"
+	"testing"
+
+	"tradenet/internal/market"
+)
+
+// fragStream builds a wire image of n assorted messages and returns it with
+// the expected decode sequence.
+func fragStream(n int) ([]byte, []Msg) {
+	var stream []byte
+	var want []Msg
+	for i := 0; i < n; i++ {
+		var m Msg
+		switch i % 4 {
+		case 0:
+			m = Msg{Kind: KindNewOrder, OrderID: uint64(i), Symbol: 3,
+				Side: market.Buy, Price: market.Price(1000 + i), Qty: market.Qty(10 + i)}
+		case 1:
+			m = Msg{Kind: KindOrderAck, OrderID: uint64(i), ExchOrderID: uint64(100 + i)}
+		case 2:
+			m = Msg{Kind: KindHeartbeat}
+		case 3:
+			m = Msg{Kind: KindFill, OrderID: uint64(i), ExecQty: 5, ExecPrice: 1000}
+		}
+		m.Seq = uint32(i + 1)
+		stream = Append(stream, &m)
+		want = append(want, m)
+	}
+	return stream, want
+}
+
+// feedAndCollect pushes segments through a fresh framer and returns the
+// decoded messages (copied out of the reused scratch).
+func feedAndCollect(t *testing.T, segments [][]byte) []Msg {
+	t.Helper()
+	var f Framer
+	var got []Msg
+	for _, seg := range segments {
+		if err := f.Feed(seg, func(m *Msg) { got = append(got, *m) }); err != nil {
+			t.Fatalf("feed: %v", err)
+		}
+	}
+	return got
+}
+
+func checkMsgs(t *testing.T, got, want []Msg) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d messages, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("message %d:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFramerOneBytePipe(t *testing.T) {
+	// The degenerate transport: every segment is a single byte, so every
+	// header and every body arrives torn.
+	stream, want := fragStream(25)
+	segs := make([][]byte, len(stream))
+	for i := range stream {
+		segs[i] = stream[i : i+1]
+	}
+	checkMsgs(t, feedAndCollect(t, segs), want)
+}
+
+func TestFramerHeaderSplitAtEveryOffset(t *testing.T) {
+	// Split a two-message stream inside the second message's 7-byte header
+	// at every possible offset: the length field itself may be torn.
+	stream, want := fragStream(2)
+	first := int(stream[0])<<8 | int(stream[1])
+	for off := 1; off < HeaderLen; off++ {
+		cut := first + off
+		got := feedAndCollect(t, [][]byte{stream[:cut], stream[cut:]})
+		checkMsgs(t, got, want)
+	}
+}
+
+func TestFramerTornTrailingMessage(t *testing.T) {
+	// A segment ends mid-message: the tail must sit buffered, not decoded
+	// and not an error, until the rest arrives.
+	stream, want := fragStream(5)
+	for hold := 1; hold < HeaderLen+2; hold++ {
+		var f Framer
+		var got []Msg
+		if err := f.Feed(stream[:len(stream)-hold], func(m *Msg) { got = append(got, *m) }); err != nil {
+			t.Fatalf("hold %d: feed: %v", hold, err)
+		}
+		if len(got) != len(want)-1 {
+			t.Fatalf("hold %d: decoded %d messages before tail, want %d", hold, len(got), len(want)-1)
+		}
+		if f.Buffered() == 0 {
+			t.Fatalf("hold %d: torn tail not buffered", hold)
+		}
+		if err := f.Feed(stream[len(stream)-hold:], func(m *Msg) { got = append(got, *m) }); err != nil {
+			t.Fatalf("hold %d: tail feed: %v", hold, err)
+		}
+		checkMsgs(t, got, want)
+		if f.Buffered() != 0 {
+			t.Fatalf("hold %d: %d bytes left buffered", hold, f.Buffered())
+		}
+	}
+}
+
+func TestFramerCorruptLengthSurfacesError(t *testing.T) {
+	stream, _ := fragStream(1)
+	stream[0], stream[1] = 0, byte(HeaderLen-1) // declared length under the header
+	var f Framer
+	if err := f.Feed(stream, func(*Msg) {}); err != ErrShort {
+		t.Fatalf("err = %v, want ErrShort", err)
+	}
+}
+
+// FuzzFramer feeds arbitrary bytes both whole and one byte at a time: the
+// framer must never panic, and on a stream it accepts whole it must decode
+// the identical message sequence regardless of segmentation.
+func FuzzFramer(f *testing.F) {
+	valid, _ := fragStream(6)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // torn tail
+	corruptKind := bytes.Clone(valid)
+	corruptKind[2] = 0x7F
+	f.Add(corruptKind)
+	badLen := bytes.Clone(valid)
+	badLen[0], badLen[1] = 0xFF, 0xFF
+	f.Add(badLen)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var whole Framer
+		var wholeMsgs []Msg
+		wholeErr := whole.Feed(data, func(m *Msg) { wholeMsgs = append(wholeMsgs, *m) })
+
+		var byBytes Framer
+		var byteMsgs []Msg
+		var byteErr error
+		for i := 0; i < len(data) && byteErr == nil; i++ {
+			byteErr = byBytes.Feed(data[i:i+1], func(m *Msg) { byteMsgs = append(byteMsgs, *m) })
+		}
+
+		if wholeErr == nil {
+			if byteErr != nil {
+				t.Fatalf("whole feed accepted, byte feed errored: %v", byteErr)
+			}
+			if len(wholeMsgs) != len(byteMsgs) {
+				t.Fatalf("whole feed decoded %d, byte feed %d", len(wholeMsgs), len(byteMsgs))
+			}
+			for i := range wholeMsgs {
+				if wholeMsgs[i] != byteMsgs[i] {
+					t.Fatalf("message %d differs by segmentation:\n%+v\n%+v", i, wholeMsgs[i], byteMsgs[i])
+				}
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"tradenet/internal/market"
+	"tradenet/internal/sim"
 )
 
 // Errors surfaced by session state machines.
@@ -22,6 +23,10 @@ type OrderState struct {
 	Acked     bool
 	CancelReq bool   // cancel in flight — the §2 race window
 	ExchID    uint64 // the exchange's id for this order (from the ack)
+
+	// attempts/ackTimer drive ack-timeout resubmission (resilience.go).
+	attempts int
+	ackTimer sim.Handle
 }
 
 // ClientSession is the trading-firm side of an order-entry connection. It
@@ -37,6 +42,16 @@ type ClientSession struct {
 	open    map[uint64]*OrderState
 	scratch []byte
 
+	// Resilience state (resilience.go); zero-valued when disabled.
+	sched    *sim.Scheduler
+	live     LivenessConfig
+	lastRx   sim.Time
+	liveTick sim.Handle
+	dead     bool
+	resync   bool // relogon in flight: reconcile on the next logon-ack
+	retry    RetryConfig
+	ackFree  []*ackWait
+
 	// Callbacks fire as exchange responses arrive. Nil callbacks are
 	// skipped.
 	OnLogon func()
@@ -48,6 +63,20 @@ type ClientSession struct {
 	OnReject       func(orderID uint64, reason RejectReason)
 	OnCancelAck    func(orderID uint64)
 	OnCancelReject func(orderID uint64) // order already gone: cancel lost the race
+	// OnPeerDead fires once when liveness declares the exchange unreachable
+	// (or Drop is called); the owner decides whether to reconnect.
+	OnPeerDead func()
+	// OnOrderUnknown fires when an order's resubmissions are exhausted: its
+	// fate at the exchange cannot be determined from this side.
+	OnOrderUnknown func(orderID uint64)
+
+	// Resilience statistics.
+	Resubmits       uint64 // new-order re-emissions (timeout or reconcile)
+	OrdersUnknown   uint64 // orders escalated through OnOrderUnknown
+	SessionsDropped uint64 // peer-death declarations
+	Overfills       uint64 // fills past an order's submitted quantity — the
+	// duplicate-execution signature (a resubmit executed twice); always 0
+	// when the exchange's idempotent resubmission handling is on
 }
 
 // NewClientSession returns a session that transmits via send.
@@ -85,8 +114,10 @@ func (c *ClientSession) NewOrder(id uint64, sym market.SymbolID, side market.Sid
 	if !c.logged {
 		return ErrNotLoggedOn
 	}
-	c.open[id] = &OrderState{Symbol: sym, Side: side, Price: price, Qty: qty}
+	st := &OrderState{Symbol: sym, Side: side, Price: price, Qty: qty}
+	c.open[id] = st
 	c.emit(&Msg{Kind: KindNewOrder, OrderID: id, Symbol: sym, Side: side, Price: price, Qty: qty})
+	c.armAck(id, st)
 	return nil
 }
 
@@ -123,8 +154,18 @@ func (c *ClientSession) Heartbeat() { c.emit(&Msg{Kind: KindHeartbeat}) }
 
 // Receive ingests stream bytes from the exchange.
 func (c *ClientSession) Receive(data []byte) error {
+	if c.sched != nil {
+		c.lastRx = c.sched.Now()
+	}
 	var seqErr error
 	err := c.framer.Feed(data, func(m *Msg) {
+		if m.Kind == KindLogout {
+			// Session-level close is a control message: it must get through
+			// even when the sequence picture is torn (a refused resync).
+			c.seqIn = m.Seq
+			c.handle(m)
+			return
+		}
 		if m.Seq != c.seqIn+1 {
 			seqErr = ErrSeqGap
 			return
@@ -142,12 +183,28 @@ func (c *ClientSession) handle(m *Msg) {
 	switch m.Kind {
 	case KindLogonAck:
 		c.logged = true
+		if c.resync {
+			c.resync = false
+			c.reconcile()
+		}
+		c.startLiveTick()
 		if c.OnLogon != nil {
 			c.OnLogon()
 		}
+	case KindLogout:
+		// The exchange closed the session (e.g. a resync it could not
+		// honor). Not a peer-death: the owner must re-establish from
+		// scratch if it wants back in.
+		c.logged = false
+		c.resync = false
+		c.liveTick.Cancel()
+		c.liveTick = sim.Handle{}
 	case KindOrderAck, KindModifyAck:
 		if st, ok := c.open[m.OrderID]; ok {
 			st.Acked = true
+			st.attempts = 0
+			st.ackTimer.Cancel()
+			st.ackTimer = sim.Handle{}
 			if m.Kind == KindOrderAck {
 				st.ExchID = m.ExchOrderID
 			}
@@ -163,7 +220,11 @@ func (c *ClientSession) handle(m *Msg) {
 		if st, ok := c.open[m.OrderID]; ok {
 			st.Filled += m.ExecQty
 			st.Qty -= m.ExecQty
+			if st.Qty < 0 {
+				c.Overfills++
+			}
 			if st.Qty <= 0 {
+				st.ackTimer.Cancel()
 				delete(c.open, m.OrderID)
 				done = true
 			}
@@ -172,11 +233,17 @@ func (c *ClientSession) handle(m *Msg) {
 			c.OnFill(m.OrderID, m.ExecQty, m.ExecPrice, done)
 		}
 	case KindReject:
+		if st, ok := c.open[m.OrderID]; ok {
+			st.ackTimer.Cancel()
+		}
 		delete(c.open, m.OrderID)
 		if c.OnReject != nil {
 			c.OnReject(m.OrderID, m.Reason)
 		}
 	case KindCancelAck:
+		if st, ok := c.open[m.OrderID]; ok {
+			st.ackTimer.Cancel()
+		}
 		delete(c.open, m.OrderID)
 		if c.OnCancelAck != nil {
 			c.OnCancelAck(m.OrderID)
@@ -201,6 +268,22 @@ type ExchangeSession struct {
 	seenIDs map[uint64]bool
 	scratch []byte
 
+	// Resilience state (resilience.go); zero-valued when disabled.
+	sched       *sim.Scheduler
+	live        LivenessConfig
+	lastRx      sim.Time
+	liveTick    sim.Handle
+	dead        bool
+	retainCap   int
+	retainBuf   [][]byte
+	retainSeqs  []uint32
+	retainSpare []byte
+	idempotent  bool
+	ackedIDs    map[uint64]uint64 // client order id → exchange id, at ack
+	bucket      BucketConfig
+	tokens      int
+	lastRefill  sim.Time
+
 	// Validate, if set, screens accepted-form requests (unknown symbol,
 	// bad price, compliance) before they reach the engine. Return
 	// RejectNone to accept.
@@ -210,6 +293,19 @@ type ExchangeSession struct {
 	OnNew    func(*Msg)
 	OnCancel func(*Msg)
 	OnModify func(*Msg)
+	// OnPeerDead fires once when liveness declares the client unreachable —
+	// the exchange hangs cancel-on-disconnect from it.
+	OnPeerDead func()
+	// OnLogout fires on a graceful client logout; venues mass-cancel here
+	// too, but the session is not dead.
+	OnLogout func()
+
+	// Resilience statistics.
+	BusyRejects     uint64 // requests shed by the ingress token bucket
+	DupSuppressed   uint64 // duplicate client ids absorbed idempotently
+	ReplayedMsgs    uint64 // retained responses replayed on reconnect
+	ResyncRefused   uint64 // relogons outside the retain window
+	SessionsDropped uint64 // peer-death declarations
 }
 
 // NewExchangeSession returns an exchange-side session transmitting via send.
@@ -221,12 +317,21 @@ func (e *ExchangeSession) emit(m *Msg) {
 	e.seqOut++
 	m.Seq = e.seqOut
 	e.scratch = Append(e.scratch[:0], m)
+	if e.retainCap > 0 {
+		e.retain(m.Seq, e.scratch)
+	}
 	e.send(e.scratch)
 }
+
+// LoggedOn reports whether the session is in the logged-on state.
+func (e *ExchangeSession) LoggedOn() bool { return e.logged }
 
 // Ack acknowledges a new order, echoing the exchange's own order id (zero
 // when the venue does not expose one).
 func (e *ExchangeSession) Ack(orderID, exchOrderID uint64) {
+	if e.ackedIDs != nil {
+		e.ackedIDs[orderID] = exchOrderID
+	}
 	e.emit(&Msg{Kind: KindOrderAck, OrderID: orderID, ExchOrderID: exchOrderID})
 }
 
@@ -257,8 +362,20 @@ func (e *ExchangeSession) CancelReject(orderID uint64) {
 
 // Receive ingests stream bytes from the client.
 func (e *ExchangeSession) Receive(data []byte) error {
+	if e.sched != nil {
+		e.lastRx = e.sched.Now()
+	}
 	var seqErr error
 	err := e.framer.Feed(data, func(m *Msg) {
+		if m.Kind == KindLogonSeq {
+			// Reconnect logon: the client's outbound counter kept running
+			// through the outage (some of those messages died on the dead
+			// transport), so adopt its sequence instead of demanding
+			// contiguity across the gap.
+			e.seqIn = m.Seq
+			e.relogon(m)
+			return
+		}
 		if m.Seq != e.seqIn+1 {
 			seqErr = ErrSeqGap
 			return
@@ -279,13 +396,36 @@ func (e *ExchangeSession) handle(m *Msg) {
 		e.emit(&Msg{Kind: KindLogonAck})
 	case KindHeartbeat:
 		// Keepalive only.
+	case KindLogout:
+		e.logged = false
+		e.liveTick.Cancel()
+		e.liveTick = sim.Handle{}
+		if e.OnLogout != nil {
+			e.OnLogout()
+		}
 	case KindNewOrder:
 		if !e.logged {
 			e.Reject(m.OrderID, RejectNotLoggedOn)
 			return
 		}
 		if e.seenIDs[m.OrderID] {
+			if e.idempotent {
+				// Resubmission of an order we already saw. If it was acked,
+				// the ack was lost on the way down: re-send it. If it is
+				// still in flight toward the engine, swallow the duplicate —
+				// the original's ack is coming.
+				e.DupSuppressed++
+				if exID, ok := e.ackedIDs[m.OrderID]; ok {
+					e.Ack(m.OrderID, exID)
+				}
+				return
+			}
 			e.Reject(m.OrderID, RejectDuplicateID)
+			return
+		}
+		if !e.admit() {
+			e.BusyRejects++
+			e.Reject(m.OrderID, RejectBusy)
 			return
 		}
 		if e.Validate != nil {
@@ -309,6 +449,11 @@ func (e *ExchangeSession) handle(m *Msg) {
 	case KindModifyOrder:
 		if !e.logged {
 			e.Reject(m.OrderID, RejectNotLoggedOn)
+			return
+		}
+		if !e.admit() {
+			e.BusyRejects++
+			e.Reject(m.OrderID, RejectBusy)
 			return
 		}
 		if e.Validate != nil {

@@ -24,6 +24,14 @@ const (
 	KindCancelOrder
 	KindModifyOrder
 	KindHeartbeat
+	// KindLogout is a graceful session close; venues treat it like a
+	// disconnect for resting-order purposes (mass cancel), but the peer is
+	// not declared dead — it said goodbye.
+	KindLogout
+	// KindLogonSeq is a reconnect logon carrying the client's next expected
+	// inbound sequence; the exchange replays retained responses from there
+	// before acking, so the client's picture heals before trading resumes.
+	KindLogonSeq
 
 	KindLogonAck Kind = iota + 0x40
 	KindOrderAck
@@ -47,6 +55,10 @@ func (k Kind) String() string {
 		return "modify"
 	case KindHeartbeat:
 		return "heartbeat"
+	case KindLogout:
+		return "logout"
+	case KindLogonSeq:
+		return "logon-seq"
 	case KindLogonAck:
 		return "logon-ack"
 	case KindOrderAck:
@@ -78,6 +90,15 @@ const (
 	RejectNotLoggedOn
 	RejectDuplicateID
 	RejectWouldLockCross // compliance gate, §4.2
+	// RejectBusy is the overload-shedding reject: the session's ingress
+	// token bucket is empty, so the exchange refuses the request instead of
+	// queueing it unboundedly. Clients back off and resubmit.
+	RejectBusy
+	// RejectSessionDown is a gateway-originated escalation: the order was
+	// accepted internally but the exchange-facing session died before it
+	// could be confirmed, and resubmission was exhausted. The owner must
+	// treat the order as unknown and stop quoting.
+	RejectSessionDown
 )
 
 // Msg is the decoded form of any order-entry message.
@@ -97,6 +118,9 @@ type Msg struct {
 	// acks — the drop-copy linkage that lets a firm recognize its own
 	// orders on the public feed.
 	ExchOrderID uint64
+	// ExpectedSeq is carried by KindLogonSeq: the next inbound sequence the
+	// reconnecting client expects, i.e. where replay must start.
+	ExpectedSeq uint32
 
 	// Trace is the flight-recorder context following this message through a
 	// software stage. It is not a wire field: encode ignores it, decode never
@@ -111,8 +135,10 @@ const HeaderLen = 7
 // bodyLen returns the encoded body size per kind.
 func bodyLen(k Kind) int {
 	switch k {
-	case KindLogon, KindLogonAck, KindHeartbeat:
+	case KindLogon, KindLogonAck, KindHeartbeat, KindLogout:
 		return 0
+	case KindLogonSeq:
+		return 4
 	case KindNewOrder, KindModifyOrder:
 		return 8 + 4 + 1 + 8 + 8 // oid, symbol, side, price, qty
 	case KindCancelOrder:
@@ -145,6 +171,8 @@ func Append(b []byte, m *Msg) []byte {
 	b = append(b, byte(m.Kind))
 	b = binary.BigEndian.AppendUint32(b, m.Seq)
 	switch m.Kind {
+	case KindLogonSeq:
+		b = binary.BigEndian.AppendUint32(b, m.ExpectedSeq)
 	case KindNewOrder, KindModifyOrder:
 		b = binary.BigEndian.AppendUint64(b, m.OrderID)
 		b = binary.BigEndian.AppendUint32(b, uint32(m.Symbol))
@@ -187,6 +215,8 @@ func Decode(b []byte, m *Msg) ([]byte, error) {
 	*m = Msg{Kind: k, Seq: binary.BigEndian.Uint32(b[3:])}
 	p := b[HeaderLen:length]
 	switch k {
+	case KindLogonSeq:
+		m.ExpectedSeq = binary.BigEndian.Uint32(p)
 	case KindNewOrder, KindModifyOrder:
 		m.OrderID = binary.BigEndian.Uint64(p)
 		m.Symbol = market.SymbolID(binary.BigEndian.Uint32(p[8:]))
