@@ -32,17 +32,21 @@ type Analyzer struct {
 // Diagnostic is one reported finding.
 type Diagnostic struct {
 	Pos      token.Pos
+	Position token.Position // resolved by RunAnalyzers; keys the stable sort
 	Message  string
 	Analyzer string
 }
 
-// Pass carries one analyzer's view of one type-checked package.
+// Pass carries one analyzer's view of one type-checked package, plus the
+// whole-load Program (call graph and Run*-reachability) the
+// interprocedural analyzers share.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	Prog      *Program
 
 	diags *[]Diagnostic
 }
@@ -58,9 +62,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // RunAnalyzers applies every analyzer to every package, resolves
 // //simlint:allow directives (suppressing covered findings, reporting
-// unjustified or stale directives), and returns the surviving diagnostics
-// sorted by position.
+// unjustified or stale directives), and returns the surviving diagnostics.
+// One Program (call graph + Run*-reachability) is built per call and
+// shared by every pass, so the interprocedural analyzers resolve dispatch
+// once per load. Diagnostics come back in a deterministic order — by file,
+// line, analyzer name, column, message — so CI diffs and -json output are
+// stable across runs and analyzer registration order.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	prog := &Program{Pkgs: pkgs}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		var raw []Diagnostic
@@ -71,14 +80,34 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Prog:      prog,
 				diags:     &raw,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
 			}
 		}
-		out = append(out, filterDirectives(pkg, analyzers, raw)...)
+		kept := filterDirectives(pkg, analyzers, raw)
+		for i := range kept {
+			kept[i].Position = pkg.Fset.Position(kept[i].Pos)
+		}
+		out = append(out, kept...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Message < b.Message
+	})
 	return out, nil
 }

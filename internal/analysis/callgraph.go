@@ -1,0 +1,321 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Interprocedural layer: a call graph over every package of one Load, and
+// the reachable-from-Run* taint the parallel-safety analyzers (sharedstate,
+// floatorder) share. The graph is built once per Load — RunAnalyzers hands
+// every Pass the same *Program — so the four analyzers pay for resolution
+// a single time per `go list -export` load.
+//
+// Identity across type-checker universes is the one real subtlety. Load
+// type-checks each target package from source, but a target's *imports*
+// come from gc export data, so the same function is represented by two
+// distinct *types.Func objects: the source one (in its own package's
+// check) and the export one (seen by its importers). Object identity
+// therefore cannot key the graph; a stable textual FuncID can, and
+// interface satisfaction is likewise matched on method name plus a
+// fully-qualified signature string rather than types.Implements.
+
+// FuncID names a function or method unambiguously across universes:
+// "pkg/path.Name" for package-level functions, "pkg/path.(Recv).Name" for
+// methods. Pointer receivers are canonicalized away so value- and
+// pointer-receiver call sites resolve to the same node.
+type FuncID string
+
+// IDOf returns fn's FuncID. Generic instantiations are keyed by their
+// origin so call sites and declarations agree.
+func IDOf(fn *types.Func) FuncID {
+	fn = fn.Origin()
+	path := ""
+	if fn.Pkg() != nil {
+		path = fn.Pkg().Path()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return FuncID(path + "." + fn.Name())
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	name := "?"
+	switch t := rt.(type) {
+	case *types.Named:
+		name = t.Obj().Name()
+	case *types.Interface:
+		name = "interface"
+	}
+	return FuncID(path + ".(" + name + ")." + fn.Name())
+}
+
+// CGNode is one function declared in a loaded source package.
+type CGNode struct {
+	ID      FuncID
+	Decl    *ast.FuncDecl
+	Pkg     *Package
+	Callees []FuncID // sorted, deduplicated
+}
+
+// CallGraph maps every function declared in the loaded packages to its
+// outgoing edges. Edges may name functions with no node (standard library,
+// export-data-only callees); they simply have no outgoing edges of their
+// own.
+type CallGraph struct {
+	Nodes map[FuncID]*CGNode
+}
+
+// concreteMethod is one entry of the interface-resolution index.
+type concreteMethod struct {
+	id  FuncID
+	sig string // fully-qualified parameter/result signature
+}
+
+// sigString renders a function type with package-path qualification so
+// signatures compare equal across type-checker universes.
+func sigString(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	// Drop the receiver: interface methods carry the interface as receiver,
+	// concrete methods their own type, and the comparison must not see
+	// either.
+	bare := types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+	return types.TypeString(bare, func(p *types.Package) string { return p.Path() })
+}
+
+// BuildCallGraph constructs the graph for pkgs: static dispatch through
+// identifiers and selectors, interface dispatch resolved against the method
+// sets of every named type declared in pkgs, and reference edges — a
+// function mentioned as a value (callback, method value, stored handler)
+// gets an edge from the function that mentions it, which is how
+// event-driven code actually transfers control here (schedule a handler
+// now, the wheel invokes it later).
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	cg := &CallGraph{Nodes: map[FuncID]*CGNode{}}
+
+	// Index the method sets of all source-declared named types for
+	// interface resolution.
+	methodIndex := map[string][]concreteMethod{}
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if types.IsInterface(named) {
+				continue
+			}
+			// The pointer method set includes both value- and
+			// pointer-receiver methods.
+			ms := types.NewMethodSet(types.NewPointer(named))
+			for i := 0; i < ms.Len(); i++ {
+				m, ok := ms.At(i).Obj().(*types.Func)
+				if !ok {
+					continue
+				}
+				methodIndex[m.Name()] = append(methodIndex[m.Name()], concreteMethod{
+					id:  IDOf(m),
+					sig: sigString(m),
+				})
+			}
+		}
+	}
+
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &CGNode{ID: IDOf(obj), Decl: fd, Pkg: pkg}
+				node.Callees = collectEdges(pkg, fd, methodIndex)
+				cg.Nodes[node.ID] = node
+			}
+		}
+	}
+	return cg
+}
+
+// collectEdges walks one declaration body (function literals included —
+// their calls are attributed to the enclosing declaration) and returns its
+// outgoing edges.
+func collectEdges(pkg *Package, fd *ast.FuncDecl, methodIndex map[string][]concreteMethod) []FuncID {
+	info := pkg.TypesInfo
+	seen := map[FuncID]bool{}
+
+	// First pass: remember which identifiers are the operator of a direct
+	// call, so the reference walk below doesn't double-count them.
+	calleeIdents := map[*ast.Ident]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			calleeIdents[fun] = true
+		case *ast.SelectorExpr:
+			calleeIdents[fun.Sel] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if IsConversion(info, n) {
+				return true
+			}
+			if fn := CalleeFunc(info, n); fn != nil {
+				// Static dispatch — but a call through an interface-typed
+				// receiver resolves to the interface method; fan it out to
+				// every declared type whose method set satisfies it.
+				if recvIsInterface(fn) {
+					for _, impl := range implementersOf(fn, methodIndex) {
+						seen[impl] = true
+					}
+				} else {
+					seen[IDOf(fn)] = true
+				}
+			}
+		case *ast.Ident:
+			if calleeIdents[n] {
+				return true
+			}
+			if fn, ok := info.Uses[n].(*types.Func); ok {
+				// A function referenced as a value: passed, stored, or
+				// returned. Whoever holds the value may call it, so the
+				// referencer gets the edge.
+				if recvIsInterface(fn) {
+					for _, impl := range implementersOf(fn, methodIndex) {
+						seen[impl] = true
+					}
+				} else {
+					seen[IDOf(fn)] = true
+				}
+			}
+		}
+		return true
+	})
+
+	out := make([]FuncID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// recvIsInterface reports whether fn is declared on an interface (an
+// abstract method, resolved by implementersOf rather than directly).
+func recvIsInterface(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// implementersOf returns the concrete methods matching an interface
+// method: same name, identical fully-qualified signature.
+func implementersOf(fn *types.Func, methodIndex map[string][]concreteMethod) []FuncID {
+	want := sigString(fn)
+	var out []FuncID
+	for _, c := range methodIndex[fn.Name()] {
+		if c.sig == want {
+			out = append(out, c.id)
+		}
+	}
+	return out
+}
+
+// Program is the whole-load view shared by every Pass of one RunAnalyzers
+// call: the loaded packages, their call graph, and the Run*-reachability
+// taint, each built once on first use.
+type Program struct {
+	Pkgs []*Package
+
+	cg    *CallGraph
+	reach map[FuncID]bool
+}
+
+// CallGraph returns the load's call graph, building it on first call.
+func (p *Program) CallGraph() *CallGraph {
+	if p.cg == nil {
+		p.cg = BuildCallGraph(p.Pkgs)
+	}
+	return p.cg
+}
+
+// runReach computes the set of functions reachable from the run entry
+// points: every exported function or method in a module package whose name
+// begins with "Run" (RunParallel, RunFailover, Scheduler.RunUntil, ...).
+// Anything one of those can reach — including through callbacks and
+// interface dispatch — executes inside a simulation run and is bound by
+// the parallel-safety contract.
+func (p *Program) runReach() map[FuncID]bool {
+	if p.reach != nil {
+		return p.reach
+	}
+	cg := p.CallGraph()
+	p.reach = map[FuncID]bool{}
+	var queue []FuncID
+	var roots []FuncID
+	for id, n := range cg.Nodes {
+		name := n.Decl.Name.Name
+		if strings.HasPrefix(name, "Run") && ast.IsExported(name) &&
+			strings.HasPrefix(n.Pkg.ImportPath, ModulePath) {
+			roots = append(roots, id)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	for _, id := range roots {
+		p.reach[id] = true
+		queue = append(queue, id)
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		n, ok := cg.Nodes[id]
+		if !ok {
+			continue
+		}
+		for _, callee := range n.Callees {
+			if !p.reach[callee] {
+				p.reach[callee] = true
+				queue = append(queue, callee)
+			}
+		}
+	}
+	return p.reach
+}
+
+// RunReachable reports whether id executes inside some Run* entry point.
+func (p *Program) RunReachable(id FuncID) bool { return p.runReach()[id] }
+
+// ReachableDecl reports whether the function declared by fd (in the
+// package pass analyzes) is reachable from a Run* entry point.
+func (pass *Pass) ReachableDecl(fd *ast.FuncDecl) bool {
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	return pass.Prog.RunReachable(IDOf(obj))
+}

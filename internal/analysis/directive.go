@@ -1,8 +1,10 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
+	"path/filepath"
 	"regexp"
 	"strings"
 )
@@ -106,9 +108,16 @@ func filterDirectives(pkg *Package, analyzers []*Analyzer, raw []Diagnostic) []D
 			})
 		}
 		if !dir.used {
+			// Name the directive's own file:line in the message: a stale
+			// directive is usually discovered far from where the reader is
+			// looking (CI logs, -json consumers), and the position columns
+			// there describe the finding, which IS the directive — making
+			// the self-reference explicit removes the ambiguity.
+			p := pkg.Fset.Position(dir.pos)
 			out = append(out, Diagnostic{
-				Pos:      dir.pos,
-				Message:  "stale allow directive: no " + dir.check + " finding here; delete it",
+				Pos: dir.pos,
+				Message: fmt.Sprintf("stale allow directive at %s:%d: no %s finding here; delete it",
+					filepath.Base(p.Filename), p.Line, dir.check),
 				Analyzer: dir.check,
 			})
 		}

@@ -1,6 +1,7 @@
 package analysis_test
 
 import (
+	"fmt"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -36,6 +37,15 @@ func TestDirectives(t *testing.T) {
 	}
 	if !strings.Contains(msgs[1], "stale allow directive") {
 		t.Errorf("second finding should report the stale directive, got: %s", msgs[1])
+	}
+	// The stale report names the directive's own file:line — the position
+	// the diagnostic carries must appear verbatim in the message.
+	self := fmt.Sprintf("at fixture.go:%d", diags[1].Position.Line)
+	if !strings.Contains(msgs[1], self) {
+		t.Errorf("stale directive report should carry its own position %q, got: %s", self, msgs[1])
+	}
+	if diags[1].Position.Line == 0 {
+		t.Error("diagnostic Position was not resolved by RunAnalyzers")
 	}
 }
 

@@ -1,0 +1,14 @@
+package floatorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tradenet/internal/analysis/analysistest"
+	"tradenet/internal/analysis/floatorder"
+)
+
+func TestFloatorder(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "floatorder"),
+		"tradenet/internal/fixture", []string{"tradenet/internal/core"}, floatorder.Analyzer)
+}

@@ -1,0 +1,92 @@
+// Package goroutine forbids ad-hoc concurrency inside the simulation
+// packages. The kernel's determinism story is that a run is one goroutine
+// advancing one timing wheel: any `go` statement, channel operation, or
+// `select` inside the simulation packages introduces scheduler-dependent
+// ordering the fixed seed cannot pin down. The sharded kernel will add
+// concurrency in exactly one sanctioned place — region workers exchanging
+// frames at deterministic barriers — and that harness, like
+// core.RunParallel today, documents itself with a justified
+// //simlint:allow goroutine directive. Everything else is a finding.
+package goroutine
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tradenet/internal/analysis"
+)
+
+// scoped lists the packages bound by the single-goroutine contract: the
+// kernel, the network and device models, every component that runs inside
+// a simulation, and core (whose RunParallel is the one sanctioned
+// harness).
+var scoped = map[string]bool{
+	analysis.ModulePath + "/internal/sim":        true,
+	analysis.ModulePath + "/internal/netsim":     true,
+	analysis.ModulePath + "/internal/exchange":   true,
+	analysis.ModulePath + "/internal/firm":       true,
+	analysis.ModulePath + "/internal/feed":       true,
+	analysis.ModulePath + "/internal/orderentry": true,
+	analysis.ModulePath + "/internal/mcast":      true,
+	analysis.ModulePath + "/internal/topo":       true,
+	analysis.ModulePath + "/internal/core":       true,
+}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutine",
+	Doc:  "forbid go statements, channel operations, and select in simulation packages outside the sanctioned RunParallel harness",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !scoped[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(),
+					"go statement in a simulation package; a run is one goroutine — concurrency belongs only in the sanctioned RunParallel-style harness")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(),
+					"channel send in a simulation package; cross-goroutine handoff makes event order scheduler-dependent")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(),
+						"channel receive in a simulation package; cross-goroutine handoff makes event order scheduler-dependent")
+				}
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						pass.Reportf(n.Pos(),
+							"range over a channel in a simulation package; receive order is scheduler-dependent")
+					}
+				}
+			case *ast.SelectStmt:
+				if countComm(n) > 1 {
+					pass.Reportf(n.Pos(),
+						"multi-case select in a simulation package; which ready case fires is scheduler-random even for a fixed seed")
+				} else {
+					pass.Reportf(n.Pos(),
+						"select in a simulation package; readiness-dependent control flow breaks schedule determinism")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// countComm counts the communication cases of a select (default excluded).
+func countComm(sel *ast.SelectStmt) int {
+	n := 0
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,23 @@
+package goroutine_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tradenet/internal/analysis/analysistest"
+	"tradenet/internal/analysis/goroutine"
+)
+
+// TestGoroutine checks the firing cases under a scoped simulation package
+// path.
+func TestGoroutine(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "goroutine"),
+		"tradenet/internal/netsim", nil, goroutine.Analyzer)
+}
+
+// TestGoroutineExempt checks that the same constructs are silent under an
+// out-of-scope path: harness packages may use real concurrency.
+func TestGoroutineExempt(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "goroutine_exempt"),
+		"tradenet/internal/workload", nil, goroutine.Analyzer)
+}

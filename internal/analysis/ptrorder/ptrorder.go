@@ -1,0 +1,130 @@
+// Package ptrorder flags constructs that let allocator addresses leak
+// into observable order. Pointer values differ between runs (and between
+// workers of the sharded kernel): a map keyed by pointers iterates — and
+// fmt renders — in address order, a %p verb prints the address itself,
+// and a sort whose comparator converts pointers to integers orders by
+// allocation history. Any of these reaching rendered output destroys
+// byte-identical replay. Key maps by a stable identifier (index, name,
+// sequence number); sort by a stable field; print IDs, not addresses. A
+// pointer-keyed map that is provably lookup-only may carry a justified
+// //simlint:allow ptrorder directive instead.
+package ptrorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tradenet/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ptrorder",
+	Doc:  "forbid pointer-keyed maps, %p formatting, and pointer-comparison sorts; allocator addresses must not order output",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Simulation and reporting code is bound; the analysis framework
+	// itself is not (its pointer-keyed AST maps never reach simulation
+	// output).
+	path := pass.Pkg.Path()
+	if !strings.HasPrefix(path, analysis.ModulePath+"/internal/") ||
+		strings.HasPrefix(path, analysis.ModulePath+"/internal/analysis") {
+		return nil
+	}
+	// One finding per distinct pointer-keyed map type per package: the
+	// declaration is the fix site, and repeating the report at every
+	// make() and literal of the same type is noise.
+	seenMapType := map[string]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.MapType:
+				kt := pass.TypesInfo.TypeOf(n.Key)
+				if kt == nil || !pointerLike(kt) {
+					return true
+				}
+				s := types.TypeString(kt, nil) // key dedup on the key type
+				if seenMapType[s] {
+					return true
+				}
+				seenMapType[s] = true
+				pass.Reportf(n.Pos(),
+					"pointer-keyed map (key %s): iteration and fmt rendering follow allocator addresses; key by a stable ID, or justify a lookup-only map with //simlint:allow ptrorder", s)
+			case *ast.CallExpr:
+				if fn := analysis.CalleeFunc(pass.TypesInfo, n); analysis.IsPkgFunc(fn, "fmt") {
+					for _, arg := range n.Args {
+						if lit, ok := ast.Unparen(arg).(*ast.BasicLit); ok && strings.Contains(lit.Value, "%p") {
+							pass.Reportf(lit.Pos(),
+								"%%p formats an allocator address; addresses differ across runs and workers — print a stable ID instead")
+						}
+					}
+				}
+			case *ast.BinaryExpr:
+				if !n.Op.IsOperator() || !isComparison(n) {
+					return true
+				}
+				if uintptrOfPointer(pass.TypesInfo, n.X) || uintptrOfPointer(pass.TypesInfo, n.Y) {
+					pass.Reportf(n.Pos(),
+						"comparison of pointers converted to uintptr orders by allocation history; sort by a stable field instead")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pointerLike reports whether t orders by address when used as a map key:
+// pointers and unsafe.Pointer. Channels share the property but the
+// goroutine analyzer already bans them here.
+func pointerLike(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// isComparison reports whether the binary expression is an ordering
+// comparison.
+func isComparison(n *ast.BinaryExpr) bool {
+	switch n.Op.String() {
+	case "<", ">", "<=", ">=":
+		return true
+	}
+	return false
+}
+
+// uintptrOfPointer reports whether expr is a uintptr(...) conversion whose
+// operand is (possibly via unsafe.Pointer) a pointer.
+func uintptrOfPointer(info *types.Info, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 || !analysis.IsConversion(info, call) {
+		return false
+	}
+	to := info.TypeOf(call.Fun)
+	if to == nil {
+		return false
+	}
+	b, ok := to.Underlying().(*types.Basic)
+	if !ok || b.Kind() != types.Uintptr {
+		return false
+	}
+	arg := ast.Unparen(call.Args[0])
+	at := info.TypeOf(arg)
+	if at != nil && pointerLike(at) {
+		return true
+	}
+	// One more unwrap for the uintptr(unsafe.Pointer(p)) idiom.
+	if inner, ok := arg.(*ast.CallExpr); ok && len(inner.Args) == 1 {
+		if it := info.TypeOf(inner.Args[0]); it != nil && pointerLike(it) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package ptrorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tradenet/internal/analysis/analysistest"
+	"tradenet/internal/analysis/ptrorder"
+)
+
+func TestPtrorder(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "ptrorder"),
+		"tradenet/internal/fixture", []string{"fmt", "sort"}, ptrorder.Analyzer)
+}

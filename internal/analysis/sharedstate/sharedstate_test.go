@@ -1,0 +1,14 @@
+package sharedstate_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tradenet/internal/analysis/analysistest"
+	"tradenet/internal/analysis/sharedstate"
+)
+
+func TestSharedstate(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "sharedstate"),
+		"tradenet/internal/fixture", []string{"sync"}, sharedstate.Analyzer)
+}

@@ -1,0 +1,75 @@
+// Package fixture exercises the floatorder analyzer: float folds driven by
+// map iteration fire, float folds inside RunParallel-merging functions
+// fire, and integer folds, slice-order float folds outside merge paths,
+// and unreachable code stay silent.
+package fixture
+
+import "tradenet/internal/core"
+
+// RunMapMean folds float values in map-iteration order: the classic
+// nondeterministic mean.
+func RunMapMean(m map[string]float64) float64 {
+	var sum float64
+	n := 0
+	for _, v := range m {
+		sum += v // want `float accumulation in RunMapMean driven by map iteration`
+		n++      // integer fold: order-independent, not flagged
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RunNestedMap fires even when the accumulation sits in a loop nested
+// inside the map range.
+func RunNestedMap(m map[string][]float64) float64 {
+	var sum float64
+	for _, vs := range m {
+		for _, v := range vs {
+			sum *= v // want `float accumulation in RunNestedMap driven by map iteration`
+		}
+	}
+	return sum
+}
+
+// RunMerge fans out via RunParallel and folds the float results: a
+// cross-worker merge path.
+func RunMerge(seeds []int64) float64 {
+	rs := core.RunParallel(seeds, func(seed int64) float64 {
+		return float64(seed) * 0.5
+	})
+	var sum float64
+	for _, r := range rs {
+		sum += r // want `float accumulation in cross-worker merge RunMerge`
+	}
+	return sum
+}
+
+// RunSliceSum folds floats in slice order with no fan-out: order is fixed,
+// not flagged.
+func RunSliceSum(vs []float64) float64 {
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum
+}
+
+// RunIntMap folds integers over a map: associative, not flagged.
+func RunIntMap(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// unreachable accumulates floats over a map but no Run* reaches it.
+func unreachable(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,49 @@
+// Package fixture exercises the goroutine analyzer inside a scoped
+// simulation package path: go statements, channel sends/receives, channel
+// ranges, and selects all fire; plain loops, function values, and sync-free
+// sequential code stay silent.
+package fixture
+
+// spawn starts ad-hoc concurrency.
+func spawn(work func()) {
+	go work() // want `go statement in a simulation package`
+}
+
+// handoff moves data across goroutines.
+func handoff(ch chan int, n int) int {
+	ch <- n             // want `channel send in a simulation package`
+	v := <-ch           // want `channel receive in a simulation package`
+	for x := range ch { // want `range over a channel in a simulation package`
+		v += x
+	}
+	return v
+}
+
+// choose picks whichever case is ready first.
+func choose(a, b chan int) int {
+	select { // want `multi-case select in a simulation package`
+	case v := <-a: // want `channel receive in a simulation package`
+		return v
+	case v := <-b: // want `channel receive in a simulation package`
+		return v
+	}
+}
+
+// single is a one-case select: still readiness-dependent.
+func single(a chan int) int {
+	select { // want `select in a simulation package`
+	case v := <-a: // want `channel receive in a simulation package`
+		return v
+	default:
+		return 0
+	}
+}
+
+// sequential is the sanctioned shape: callbacks and loops, no concurrency.
+func sequential(fs []func() int) int {
+	total := 0
+	for _, f := range fs {
+		total += f()
+	}
+	return total
+}

@@ -1,0 +1,19 @@
+// Package fixture proves the goroutine analyzer is path-scoped: the same
+// constructs that fire inside simulation packages are legal in harness
+// packages (this fixture is loaded under an out-of-scope import path), so
+// nothing here carries a want comment.
+package fixture
+
+// Fan runs work concurrently — fine outside the simulation packages.
+func Fan(work []func(), done chan int) {
+	for _, w := range work {
+		w := w
+		go func() {
+			w()
+			done <- 1
+		}()
+	}
+	for range work {
+		<-done
+	}
+}

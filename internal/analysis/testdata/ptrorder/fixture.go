@@ -1,0 +1,52 @@
+// Package fixture exercises the ptrorder analyzer: pointer-keyed map
+// declarations, %p format verbs, and pointer-comparison sorts fire;
+// value-keyed maps, stable-ID prints, and value sorts stay silent. The
+// second pointer-keyed map with the same key type is deduplicated to one
+// finding per key type per package.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"unsafe"
+)
+
+// Node is the pointee used throughout.
+type Node struct {
+	ID   int
+	next *Node
+}
+
+// Index is keyed by pointers: iteration and rendering follow allocator
+// addresses.
+type Index struct {
+	seen map[*Node]bool // want `pointer-keyed map \(key \*tradenet/internal/fixture.Node\)`
+	rank map[*Node]int  // same key type: deduplicated, no second finding
+}
+
+// ByID is the sanctioned shape: keyed by the stable ID.
+type ByID struct {
+	seen map[int]*Node
+}
+
+// Describe leaks the address into rendered output.
+func Describe(n *Node) string {
+	return fmt.Sprintf("node %p", n) // want `%p formats an allocator address`
+}
+
+// DescribeStable prints the stable ID: not flagged.
+func DescribeStable(n *Node) string {
+	return fmt.Sprintf("node %d", n.ID)
+}
+
+// SortByAddress orders nodes by allocation history.
+func SortByAddress(ns []*Node) {
+	sort.Slice(ns, func(i, j int) bool {
+		return uintptr(unsafe.Pointer(ns[i])) < uintptr(unsafe.Pointer(ns[j])) // want `comparison of pointers converted to uintptr`
+	})
+}
+
+// SortByID orders nodes by the stable field: not flagged.
+func SortByID(ns []*Node) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
+}

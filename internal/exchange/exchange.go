@@ -68,7 +68,8 @@ type Exchange struct {
 
 	// res, when set, hardens accepted sessions (resilience.go); links maps
 	// each session to its current transport so reconnects can swap streams.
-	res   *Resilience
+	res *Resilience
+	//simlint:allow ptrorder: lookup-only session→link table — never iterated, sorted, or rendered, so the pointer key cannot order any output
 	links map[*orderentry.ExchangeSession]*oeLink
 
 	// CancelOnDisconnect counts orders mass-canceled for dead sessions;

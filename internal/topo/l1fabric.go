@@ -38,13 +38,15 @@ type L1Fabric struct {
 	StratToGw   *device.L1Switch
 	GwToEx      *device.L1Switch
 
-	next        map[*device.L1Switch]int
-	circuitMaps map[*device.L1Switch]map[int][]int
+	// Keyed by L1Switch.Name (unique per fabric), not by pointer, so no
+	// allocator address can ever order fabric state.
+	next        map[string]int
+	circuitMaps map[string]map[int][]int
 }
 
 // NewL1Fabric builds the four switches.
 func NewL1Fabric(sched *sim.Scheduler, cfg L1FabricConfig) *L1Fabric {
-	f := &L1Fabric{cfg: cfg, sched: sched, next: make(map[*device.L1Switch]int)}
+	f := &L1Fabric{cfg: cfg, sched: sched, next: make(map[string]int)}
 	f.ExToNorm = device.NewL1Switch(sched, "l1s-ex-norm", cfg.Ports, cfg.Switch)
 	f.NormToStrat = device.NewL1Switch(sched, "l1s-norm-strat", cfg.Ports, cfg.Switch)
 	f.StratToGw = device.NewL1Switch(sched, "l1s-strat-gw", cfg.Ports, cfg.Switch)
@@ -57,8 +59,8 @@ func (f *L1Fabric) Config() L1FabricConfig { return f.cfg }
 
 // attach wires nic to the next free port of sw and returns the port index.
 func (f *L1Fabric) attach(sw *device.L1Switch, nic *netsim.NIC) int {
-	p := f.next[sw]
-	f.next[sw]++
+	p := f.next[sw.Name]
+	f.next[sw.Name]++
 	netsim.Connect(sw.Port(p), nic.Port, f.cfg.LinkRate, f.cfg.CableDelay)
 	return p
 }
@@ -104,12 +106,12 @@ func (f *L1Fabric) RepairPath(sw *device.L1Switch, in int) {
 // circuits caches per-switch circuit maps for Deliver bookkeeping.
 func (f *L1Fabric) Circuits(sw *device.L1Switch) map[int][]int {
 	if f.circuitMaps == nil {
-		f.circuitMaps = make(map[*device.L1Switch]map[int][]int)
+		f.circuitMaps = make(map[string]map[int][]int)
 	}
-	m, ok := f.circuitMaps[sw]
+	m, ok := f.circuitMaps[sw.Name]
 	if !ok {
 		m = make(map[int][]int)
-		f.circuitMaps[sw] = m
+		f.circuitMaps[sw.Name] = m
 	}
 	return m
 }
