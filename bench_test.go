@@ -388,3 +388,19 @@ func BenchmarkOEFailover(b *testing.B) {
 	}
 	b.ReportMetric(ok, "invariants-ok")
 }
+
+// BenchmarkWANRedundancy (E22) rains on the mirrored microwave WAN path
+// and reports the recovery-policy headline numbers: reactive replay's
+// stale-picture exposure vs the adaptive controller's, and the goodput
+// the closed loop holds while switching policies mid-squall.
+func BenchmarkWANRedundancy(b *testing.B) {
+	var r core.WANRedundancyReport
+	for i := 0; i < b.N; i++ {
+		r = core.RunWANRedundancy(core.SmallScenario(), core.Seeds(1, 1))
+	}
+	m := r.Runs[0].Matrix
+	b.ReportMetric(m[0].Exposure.Microseconds(), "replayonly-exposure-µs")
+	b.ReportMetric(m[3].Exposure.Microseconds(), "adaptive-exposure-µs")
+	b.ReportMetric(m[3].GoodputPct(), "adaptive-goodput-pct")
+	b.ReportMetric(float64(m[3].Switches), "policy-switches")
+}

@@ -37,6 +37,7 @@
 //	failover    E19 — deterministic fault injection: spine kill + WAN outage
 //	attribution E20 — flight-recorder latency attribution across designs
 //	oefailover  E21 — order-entry session kill: liveness, cancel-on-disconnect, replay
+//	wanredundancy E22 — adaptive WAN redundancy: recovery policy × rain fade × design
 //
 // Pass -csv <dir> to also export the Figure 2 data series as CSV. Pass
 // -trace <file> with -experiment attribution to export the recorded spans
@@ -116,6 +117,7 @@ var experiments = []experimentSpec{
 	}},
 	{"failover", func(c runCfg) { fmt.Println(core.RunFailover(c.sc, core.Seeds(c.seed, c.reps))) }},
 	{"oefailover", func(c runCfg) { fmt.Println(core.RunOEFailover(c.sc, core.Seeds(c.seed, c.reps))) }},
+	{"wanredundancy", func(c runCfg) { fmt.Println(core.RunWANRedundancy(c.sc, core.Seeds(c.seed, c.reps))) }},
 	{"attribution", func(c runCfg) {
 		r := core.RunAttribution(c.sc, c.bursts)
 		fmt.Println(r)

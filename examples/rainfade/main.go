@@ -1,0 +1,48 @@
+// Rainfade: degrade a microwave WAN path on a weather schedule and watch
+// three recovery policies — and a closed-loop controller choosing between
+// them — fight for the remote site's picture of the market. The exchange's
+// feed is mirrored Carteret→Secaucus over the path firms run *because* it is
+// fast, accepting that it rain-fades; a fiber side channel replays whatever
+// the active policy cannot absorb:
+//
+//	replay-only  no redundancy; every loss pays the fiber round trip
+//	parity-fec   one XOR parity frame per group heals single losses in-band
+//	duplicate    send twice; anything short of both copies lost is free
+//	adaptive     sample the loss rate each window, walk the ladder with
+//	             deterministic hysteresis — duplicate in a squall, parity
+//	             in a drizzle, nothing when the sky is clear
+//
+// Every run is a pure function of its seed: rerun with the same -seed and
+// the tables, fault timeline, and controller decision log are byte-identical.
+//
+//	go run ./examples/rainfade
+//	go run ./examples/rainfade -seed 7 -replications 3
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"tradenet/internal/core"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "base seed")
+	reps := flag.Int("replications", 1, "independent seeds (seed, seed+1, ...)")
+	flag.Parse()
+
+	fmt.Println("=== adaptive WAN redundancy: recovery policy × rain fade ===")
+	fmt.Print(core.RunWANRedundancy(core.SmallScenario(), core.Seeds(*seed, *reps)))
+
+	fmt.Println("\nReading the tables:")
+	fmt.Println("  - goodput is the timely fraction: in-order live delivery (first")
+	fmt.Println("    copies, deduped duplicates, parity reconstructions) over published.")
+	fmt.Println("    Replay heals the rest — late, out of band, after a fiber RTT.")
+	fmt.Println("  - exposure integrates the stale-picture time: the window a §2")
+	fmt.Println("    pick-off artist exploits. Proactive redundancy shrinks it; the")
+	fmt.Println("    squall (30% loss) defeats single-parity FEC, which is why the")
+	fmt.Println("    controller climbs to duplicate there and stops at parity in the")
+	fmt.Println("    drizzle.")
+	fmt.Println("  - overhead is what the policy costs on a bandwidth-starved link:")
+	fmt.Println("    duplicate pays ~130% always; adaptive pays it only while raining.")
+}

@@ -94,7 +94,11 @@ type Circuit struct {
 	PortA   *netsim.Port // in facility A
 	PortB   *netsim.Port // in facility B
 	Latency sim.Duration // one-way propagation
-	raining bool
+
+	// rainDepth refcounts overlapping rain windows: the circuit is rainy
+	// while any window is open, and only the last SetRaining(false)
+	// clears the fade.
+	rainDepth int
 }
 
 // NewCircuit provisions a circuit between a and b, terminating on handlers
@@ -115,20 +119,33 @@ func NewCircuit(sched *sim.Scheduler, a, b Facility, cfg CircuitConfig, ha, hb n
 	return c
 }
 
-// SetRaining toggles rain fade on a microwave circuit. Fiber ignores
-// weather.
+// SetRaining opens (true) or closes (false) one rain-fade window on a
+// microwave circuit. Fiber ignores weather. Windows refcount: overlapping
+// calls keep the fade up until the last window closes. The fade is a
+// named loss source on the ports, so it composes with fault-plan loss
+// bursts instead of clobbering their restore values.
 func (c *Circuit) SetRaining(raining bool) {
-	c.raining = raining
+	if raining {
+		c.rainDepth++
+	} else if c.rainDepth > 0 {
+		c.rainDepth--
+	}
 	p := 0.0
-	if raining && c.Config.Medium == Microwave {
+	if c.rainDepth > 0 && c.Config.Medium == Microwave {
 		p = c.Config.RainLossProb
 	}
-	c.PortA.LossProb = p
-	c.PortB.LossProb = p
+	c.PortA.SetLossSource("rain", p)
+	c.PortB.SetLossSource("rain", p)
 }
 
 // Raining reports the current weather state.
-func (c *Circuit) Raining() bool { return c.raining }
+func (c *Circuit) Raining() bool { return c.rainDepth > 0 }
+
+// FaultName identifies the circuit in a fault plan's event log,
+// implementing fault.Rainer.
+func (c *Circuit) FaultName() string {
+	return c.A.Name + "<->" + c.B.Name + "/" + c.Config.Medium.String()
+}
 
 // Advantage returns how much faster medium fast is than medium slow between
 // the same pair — the latency edge a microwave network buys (§2).

@@ -125,8 +125,54 @@ func TestRainFadeCausesLossOnMicrowaveOnly(t *testing.T) {
 	rxF := &counter{s: sched}
 	fb := NewCircuit(sched, Carteret, Secaucus, DefaultFiber(), nullHandler{}, rxF)
 	fb.SetRaining(true)
-	if fb.PortA.LossProb != 0 {
+	if fb.PortA.EffectiveLossProb() != 0 {
 		t.Fatal("fiber should not fade in rain")
+	}
+}
+
+func TestRainComposesWithLossBurst(t *testing.T) {
+	// Rain starting during a scripted loss burst (or vice versa) must
+	// not clobber the other window's restore: each is its own loss
+	// source, the link runs at the max while both are open, and the base
+	// rate returns only when the last window closes.
+	sched := sim.NewScheduler(3)
+	mw := NewCircuit(sched, Carteret, Secaucus, DefaultMicrowave(), nullHandler{}, nullHandler{})
+	mw.Config.RainLossProb = 0.1
+
+	us := sim.Microsecond
+	sched.At(sim.Time(5*us), func() { mw.PortA.SetLossSource("burst#1", 0.4) }) // burst [5, 20)
+	sched.At(sim.Time(10*us), func() { mw.SetRaining(true) })                   // rain  [10, 30)
+	sched.At(sim.Time(20*us), func() { mw.PortA.SetLossSource("burst#1", 0) })
+	sched.At(sim.Time(30*us), func() { mw.SetRaining(false) })
+
+	probe := func(at sim.Duration) *float64 {
+		v := new(float64)
+		sched.At(sim.Time(at), func() { *v = mw.PortA.EffectiveLossProb() })
+		return v
+	}
+	burstOnly := probe(7 * us)
+	both := probe(15 * us)
+	rainOnly := probe(25 * us)
+	clear := probe(35 * us)
+	sched.Run()
+
+	if *burstOnly != 0.4 || *both != 0.4 || *rainOnly != 0.1 || *clear != 0 {
+		t.Fatalf("effective loss = %v/%v/%v/%v, want 0.4/0.4/0.1/0", *burstOnly, *both, *rainOnly, *clear)
+	}
+}
+
+func TestOverlappingRainWindowsRefcount(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	mw := NewCircuit(sched, Carteret, Secaucus, DefaultMicrowave(), nullHandler{}, nullHandler{})
+	mw.SetRaining(true)
+	mw.SetRaining(true) // second storm cell overlaps the first
+	mw.SetRaining(false)
+	if !mw.Raining() || mw.PortA.EffectiveLossProb() != mw.Config.RainLossProb {
+		t.Fatal("rain cleared while a window was still open")
+	}
+	mw.SetRaining(false)
+	if mw.Raining() || mw.PortA.EffectiveLossProb() != 0 {
+		t.Fatal("rain did not clear after the last window closed")
 	}
 }
 

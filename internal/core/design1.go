@@ -41,6 +41,10 @@ type Design1 struct {
 	RecReaders []*feed.ResponseReader
 	// GapRequests counts replay requests normalizers sent to the exchange.
 	GapRequests uint64
+
+	// WANFeed is the adaptive WAN redundancy mirror (nil unless
+	// Scenario.WANRedundancy).
+	WANFeed *WANFeed
 }
 
 // hostIDs: the exchange uses 100+, normalizers 1000+, strategies 10000+,
@@ -115,6 +119,9 @@ func NewDesign1(sc Scenario, switchCfg device.CommoditySwitchConfig) *Design1 {
 	}
 
 	d.wireSessions()
+	if sc.WANRedundancy {
+		d.WANFeed = NewWANFeed(d.Sched, d.Ex, DefaultWANFeedConfig())
+	}
 	return d
 }
 

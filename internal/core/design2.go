@@ -39,6 +39,10 @@ type Design2 struct {
 	// analysis; the zero Time means "not delivered to this tenant" (nothing
 	// arrives at t=0 — every path charges positive latency).
 	arrivals map[uint16][]sim.Time
+
+	// WANFeed is the adaptive WAN redundancy mirror (nil unless
+	// Scenario.WANRedundancy).
+	WANFeed *WANFeed
 }
 
 // NewDesign2 builds the cloud plant with the given per-tenant path
@@ -99,6 +103,9 @@ func NewDesign2(sc Scenario, tenantLat []sim.Duration, equalize bool) *Design2 {
 			hardenTenant(s, d.Ex, sess, addr)
 		}
 		d.Strats = append(d.Strats, s)
+	}
+	if sc.WANRedundancy {
+		d.WANFeed = NewWANFeed(d.Sched, d.Ex, DefaultWANFeedConfig())
 	}
 	return d
 }

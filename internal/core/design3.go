@@ -37,6 +37,10 @@ type Design3 struct {
 	// NormSubs[i] is the set of normalizer indices strategy i subscribes
 	// to; with one L1S NIC per strategy, |NormSubs[i]| > 1 implies merging.
 	NormSubs [][]int
+
+	// WANFeed is the adaptive WAN redundancy mirror (nil unless
+	// Scenario.WANRedundancy).
+	WANFeed *WANFeed
 }
 
 // NewDesign3 builds the four-network L1S plant. maxSubs caps the number of
@@ -146,6 +150,9 @@ func NewDesign3(sc Scenario, maxSubs int) *Design3 {
 	d.Fabric.Deliver(d.Fabric.GwToEx, exOE, gwExPorts...)
 
 	d.wireSessions()
+	if sc.WANRedundancy {
+		d.WANFeed = NewWANFeed(d.Sched, d.Ex, DefaultWANFeedConfig())
+	}
 	return d
 }
 

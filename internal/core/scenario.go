@@ -49,6 +49,16 @@ type Scenario struct {
 	// leaves the order path byte-identical to the legacy happy-path plant.
 	OEResilience bool
 
+	// WANRedundancy arms the adaptive WAN redundancy layer: the exchange's
+	// published feed is mirrored over a Carteret→Secaucus microwave
+	// circuit through a redundancy sender, a remote receiver dedups /
+	// FEC-reconstructs / declares, a fiber-latency side channel replays
+	// gaps, and a closed-loop controller walks the recovery-policy ladder
+	// from the circuit's observed loss. Off (the default) builds none of
+	// it — the plant is byte-identical to the knob-less build, zero
+	// pointer writes on the hot path.
+	WANRedundancy bool
+
 	// Seed drives all randomness.
 	Seed int64
 }

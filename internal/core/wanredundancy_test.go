@@ -1,0 +1,181 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"tradenet/internal/device"
+	"tradenet/internal/sim"
+)
+
+// e22Report memoizes one multi-seed E22 run for the acceptance tests below
+// (the matrix is 11 plants per seed — build it once).
+var e22Report *WANRedundancyReport
+
+func e22(t *testing.T) *WANRedundancyReport {
+	t.Helper()
+	if e22Report == nil {
+		rep := RunWANRedundancy(SmallScenario(), []int64{1, 2, 3})
+		e22Report = &rep
+	}
+	return e22Report
+}
+
+// TestWANRedundancyPoliciesBeatReplay is the headline acceptance check:
+// proactive redundancy must beat reactive replay on recovery time. Exposure
+// integrates the stale-picture time from rain onset through each window's
+// heal tail — the time-to-recovery measure that is robust to single-probe
+// noise (every policy's residual losses pay the same replay RTT, so the
+// worst single window can tie; the integral cannot). Summed over both
+// timelines, ParityFEC and Duplicate must each strictly beat ReplayOnly.
+func TestWANRedundancyPoliciesBeatReplay(t *testing.T) {
+	rep := e22(t)
+	for _, run := range rep.Runs {
+		stale := map[string]sim.Duration{}
+		for _, m := range run.Matrix {
+			stale[m.Mode] += m.Exposure + m.TTR
+		}
+		if stale["parity-fec"] >= stale["replay-only"] {
+			t.Errorf("seed %d: parity-fec stale time %v !< replay-only %v",
+				run.Seed, stale["parity-fec"], stale["replay-only"])
+		}
+		if stale["duplicate"] >= stale["replay-only"] {
+			t.Errorf("seed %d: duplicate stale time %v !< replay-only %v",
+				run.Seed, stale["duplicate"], stale["replay-only"])
+		}
+	}
+}
+
+// TestWANRedundancyAdaptiveConverges: on every tested timeline the adaptive
+// controller must land within 5 percentage points of the best static
+// policy's goodput (the hysteresis reaction time — EnterAfter windows —
+// costs it the first slice of each rain window), while spending strictly
+// less overhead than always-on Duplicate. That combination is the point of
+// closing the loop: near-best timeliness without paying send-twice in
+// clear weather.
+func TestWANRedundancyAdaptiveConverges(t *testing.T) {
+	rep := e22(t)
+	for _, run := range rep.Runs {
+		best := map[string]float64{}
+		var adaptives []WANRedundancyRun
+		for _, m := range run.Matrix {
+			if m.Mode == "adaptive" {
+				adaptives = append(adaptives, m)
+				continue
+			}
+			if g := m.GoodputPct(); g > best[m.Timeline] {
+				best[m.Timeline] = g
+			}
+		}
+		for _, a := range adaptives {
+			if a.GoodputPct() < best[a.Timeline]-5 {
+				t.Errorf("seed %d %s: adaptive goodput %.1f%% not within 5pp of best static %.1f%%",
+					run.Seed, a.Timeline, a.GoodputPct(), best[a.Timeline])
+			}
+			if a.Switches == 0 {
+				t.Errorf("seed %d %s: adaptive controller never switched policy", run.Seed, a.Timeline)
+			}
+		}
+	}
+	// Overhead: adaptive pays Duplicate rates only while rain demands it.
+	for _, run := range rep.Runs {
+		byMode := map[string]map[string]WANRedundancyRun{}
+		for _, m := range run.Matrix {
+			if byMode[m.Timeline] == nil {
+				byMode[m.Timeline] = map[string]WANRedundancyRun{}
+			}
+			byMode[m.Timeline][m.Mode] = m
+		}
+		for tl, modes := range byMode {
+			if modes["adaptive"].OverheadPct() >= modes["duplicate"].OverheadPct() {
+				t.Errorf("seed %d %s: adaptive overhead %.1f%% !< duplicate %.1f%%",
+					run.Seed, tl, modes["adaptive"].OverheadPct(), modes["duplicate"].OverheadPct())
+			}
+		}
+	}
+}
+
+// TestWANRedundancyControllerTracksWeather: the squall (30% loss, beyond
+// one-parity-per-group) must drive the ladder up to Duplicate; the drizzle
+// (8% loss, single losses per group dominate) must stop at ParityFEC —
+// the decision logs carry the ground truth.
+func TestWANRedundancyControllerTracksWeather(t *testing.T) {
+	rep := e22(t)
+	for _, run := range rep.Runs {
+		for _, m := range run.Matrix {
+			if m.Mode != "adaptive" {
+				continue
+			}
+			switch m.Timeline {
+			case "squall":
+				if !strings.Contains(m.DecisionLog, "-> duplicate") {
+					t.Errorf("seed %d squall: controller never reached duplicate:\n%s", run.Seed, m.DecisionLog)
+				}
+			case "drizzle":
+				if !strings.Contains(m.DecisionLog, "-> parity-fec") {
+					t.Errorf("seed %d drizzle: controller never reached parity-fec:\n%s", run.Seed, m.DecisionLog)
+				}
+				if strings.Contains(m.DecisionLog, "-> duplicate") {
+					t.Errorf("seed %d drizzle: controller overshot to duplicate on light rain:\n%s", run.Seed, m.DecisionLog)
+				}
+			}
+			if !strings.Contains(m.DecisionLog, "-> replay-only") {
+				t.Errorf("seed %d %s: controller never decayed back to replay-only after the rain:\n%s",
+					run.Seed, m.Timeline, m.DecisionLog)
+			}
+		}
+	}
+}
+
+// TestWANRedundancyDeterministic: the full rendered report — tables, fault
+// timeline, decision logs, wan.* registry dump — must be byte-identical
+// across repeat runs of the same seed.
+func TestWANRedundancyDeterministic(t *testing.T) {
+	a := RunWANRedundancy(SmallScenario(), []int64{1}).String()
+	b := RunWANRedundancy(SmallScenario(), []int64{1}).String()
+	if a != b {
+		t.Fatalf("same-seed E22 runs differ:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}
+
+// TestWANRedundancyRegistryNames: the wan.* counters must be registered and
+// appear in the dump (the CI smoke greps for the same prefix).
+func TestWANRedundancyRegistryNames(t *testing.T) {
+	reg := e22(t).Runs[0].Matrix[3].Registry
+	for _, name := range []string{
+		"wan.tx.data_frames", "wan.tx.overhead_bytes", "wan.rx.reconstructed",
+		"wan.rx.duplicates", "wan.feed.msgs", "wan.replay.recovered_msgs",
+		"wan.ctl.switches", "wan.circuit.lost_frames",
+	} {
+		if !strings.Contains(reg, name) {
+			t.Errorf("registry dump missing %q:\n%s", name, reg)
+		}
+	}
+}
+
+// TestWANRedundancyKnobOff: with the scenario knob off no mirror is built,
+// and with it on but unsteered (controller never started) the plant's event
+// loop still runs dry — the round-trip measurement must not hang or shift.
+func TestWANRedundancyKnobOff(t *testing.T) {
+	sc := SmallScenario()
+	if d := NewDesign1(sc, device.DefaultCommodityConfig()); d.WANFeed != nil {
+		t.Fatalf("knob off: WANFeed built anyway")
+	}
+	off := NewDesign1(sc, device.DefaultCommodityConfig()).MeasureRoundTrip(4)
+	sc.WANRedundancy = true
+	don := NewDesign1(sc, device.DefaultCommodityConfig())
+	if don.WANFeed == nil {
+		t.Fatalf("knob on: WANFeed missing")
+	}
+	// MeasureRoundTrip runs the queue dry: an unsteered mirror must not
+	// re-arm ticks, and the passive tap must not perturb tick-to-trade.
+	on := don.MeasureRoundTrip(4)
+	if off.Orders != on.Orders || len(off.Samples) != len(on.Samples) {
+		t.Fatalf("tap perturbed the plant: off %d orders, on %d orders", off.Orders, on.Orders)
+	}
+	for i := range off.Samples {
+		if off.Samples[i] != on.Samples[i] {
+			t.Fatalf("tap perturbed tick-to-trade sample %d: off %v, on %v", i, off.Samples[i], on.Samples[i])
+		}
+	}
+}

@@ -94,6 +94,11 @@ type Exchange struct {
 	// every hook degenerates to a nil compare.
 	tracer *trace.Recorder
 
+	// onPublishDgram, if set, observes every published (and retained)
+	// feed datagram — the tap a WAN redundancy sender mirrors the feed
+	// from. Nil (the default) costs the publish path one nil compare.
+	onPublishDgram func(dgram []byte)
+
 	ipID uint16
 }
 
@@ -151,6 +156,21 @@ func (e *Exchange) Tracer() *trace.Recorder { return e.tracer }
 // its Receive to an order-entry-style stream (real feeds run it on a
 // dedicated TCP endpoint).
 func (e *Exchange) RecoveryServer() *feed.RecoveryServer { return e.recSrv }
+
+// NewRecoveryServer returns a fresh gap-recovery server over the same
+// retained datagrams. A RecoveryServer carries per-stream request framing
+// state, so every independent client stream (a WAN subscriber's side
+// channel, say) needs its own server instance rather than sharing recSrv
+// and interleaving partial requests.
+func (e *Exchange) NewRecoveryServer() *feed.RecoveryServer {
+	return feed.NewRecoveryServer(e.retain...)
+}
+
+// SetOnPublishDgram installs a tap observing every published feed
+// datagram, after retention (so a replay can recover anything the tap's
+// downstream loses). The slice is valid only for the duration of the
+// call. Pass nil to remove.
+func (e *Exchange) SetOnPublishDgram(fn func(dgram []byte)) { e.onPublishDgram = fn }
 
 // AcceptRecoverySession provisions a gap-recovery stream endpoint on the
 // order-entry NIC and returns the TCP port clients should dial.
@@ -453,6 +473,9 @@ func (e *Exchange) flush(part int) {
 	src := e.mdNIC.Addr(MDPort)
 	e.packers[part].Flush(func(dgram []byte) {
 		e.retain[part].Retain(dgram)
+		if e.onPublishDgram != nil {
+			e.onPublishDgram(dgram)
+		}
 		e.ipID++
 		// Build straight into a pooled frame (no intermediate scratch copy)
 		// so the flight recorder can ride the frame from the instant of

@@ -55,6 +55,11 @@ const (
 	// replay, cancel-on-disconnect — is the session layer's job, so the
 	// event has no paired "recover".
 	SessionDrop
+	// RainStart begins a rain-fade window on a weather-sensitive WAN
+	// circuit (§2: microwave loses frames in rain; fiber ignores weather).
+	RainStart
+	// RainEnd clears the rain.
+	RainEnd
 )
 
 // String names the kind.
@@ -74,6 +79,10 @@ func (k Kind) String() string {
 		return "SwitchRecover"
 	case SessionDrop:
 		return "SessionDrop"
+	case RainStart:
+		return "RainStart"
+	case RainEnd:
+		return "RainEnd"
 	}
 	return "Unknown"
 }
@@ -123,6 +132,10 @@ type Plan struct {
 	// it mid-run is safe; it grows as virtual time passes the scheduled
 	// instants.
 	Log []Record
+
+	// bursts numbers scheduled loss bursts, giving each its own named
+	// loss source on the affected ports.
+	bursts int
 }
 
 // NewPlan creates an empty plan bound to the scheduler.
@@ -163,25 +176,66 @@ func (p *Plan) LinkOutage(port *netsim.Port, at sim.Time, d sim.Duration) {
 	})
 }
 
-// LossBurst raises the link's per-frame loss probability to prob (both
-// directions) for the window [at, at+d), then restores whatever each
-// direction had before — a rain fade over a microwave circuit, scheduled
-// rather than drawn, so the window itself is reproducible.
+// LossBurst raises the link's per-frame loss probability to at least prob
+// (both directions) for the window [at, at+d) — a flapping optic, a dirty
+// connector — scheduled rather than drawn, so the window itself is
+// reproducible. Each burst is its own named loss source on the ports, so
+// overlapping bursts (or a burst overlapping rain) compose as the max of
+// the active windows and each end-event removes only its own
+// contribution; the old capture-and-restore scheme restored a stale value
+// whenever windows overlapped.
 func (p *Plan) LossBurst(port *netsim.Port, at sim.Time, d sim.Duration, prob float64) {
 	if !port.Connected() {
 		panic("fault: LossBurst on unconnected port " + port.Name)
 	}
 	peer := port.Peer()
-	var savedA, savedB float64
+	p.bursts++
+	name := fmt.Sprintf("burst#%d", p.bursts)
 	p.sched.AtPrio(at, sim.PrioControl, func() {
-		savedA, savedB = port.LossProb, peer.LossProb
-		port.LossProb, peer.LossProb = prob, prob
+		port.SetLossSource(name, prob)
+		peer.SetLossSource(name, prob)
 		p.record(LossBurstStart, linkName(port))
 	})
 	p.sched.AtPrio(at.Add(d), sim.PrioControl, func() {
-		port.LossProb, peer.LossProb = savedA, savedB
+		port.SetLossSource(name, 0)
+		peer.SetLossSource(name, 0)
 		p.record(LossBurstEnd, linkName(port))
 	})
+}
+
+// Rainer is a weather-sensitive WAN circuit a plan can rain on —
+// colo.Circuit implements it. SetRaining must be refcount-composable:
+// overlapping windows stay rainy until the last one clears.
+type Rainer interface {
+	// FaultName identifies the circuit in the event log.
+	FaultName() string
+	// SetRaining starts (true) or ends (false) one rain window.
+	SetRaining(bool)
+}
+
+// RainWindow is one rain-fade window on a circuit's timeline.
+type RainWindow struct {
+	At  sim.Time
+	Dur sim.Duration
+}
+
+// RainTimeline schedules rain windows on c as first-class fault events:
+// each start and end fires at control priority and lands in the plan's
+// log, so an E-series report shows the weather alongside every other
+// injected fault and a rain-faded run replays from its seed. Windows may
+// overlap — the circuit refcounts, the union stays rainy.
+func (p *Plan) RainTimeline(c Rainer, windows ...RainWindow) {
+	for _, w := range windows {
+		w := w
+		p.sched.AtPrio(w.At, sim.PrioControl, func() {
+			c.SetRaining(true)
+			p.record(RainStart, c.FaultName())
+		})
+		p.sched.AtPrio(w.At.Add(w.Dur), sim.PrioControl, func() {
+			c.SetRaining(false)
+			p.record(RainEnd, c.FaultName())
+		})
+	}
 }
 
 // SwitchOutage fails sw at instant at and recovers it d later.

@@ -58,18 +58,102 @@ func TestLossBurstRaisesAndRestoresLossProb(t *testing.T) {
 	p.LossBurst(a, sim.Time(5*sim.Microsecond), 10*sim.Microsecond, 0.5)
 
 	var during, after float64
-	sched.At(sim.Time(6*sim.Microsecond), func() { during = a.LossProb })
-	sched.At(sim.Time(16*sim.Microsecond), func() { after = a.LossProb })
+	sched.At(sim.Time(6*sim.Microsecond), func() { during = a.EffectiveLossProb() })
+	sched.At(sim.Time(16*sim.Microsecond), func() { after = a.EffectiveLossProb() })
 	sched.Run()
 
 	if during != 0.5 {
-		t.Fatalf("LossProb during burst = %v, want 0.5", during)
+		t.Fatalf("effective loss during burst = %v, want 0.5", during)
 	}
 	if after != 0.001 {
-		t.Fatalf("LossProb after burst = %v, want the prior 0.001", after)
+		t.Fatalf("effective loss after burst = %v, want the base 0.001", after)
 	}
 	if len(p.Log) != 2 || p.Log[0].Kind != LossBurstStart || p.Log[1].Kind != LossBurstEnd {
 		t.Fatalf("log = %v", p.Log)
+	}
+}
+
+func TestOverlappingLossBurstsRestoreCleanly(t *testing.T) {
+	// The regression this guards: with capture-and-restore semantics, the
+	// second burst's start captured the first burst's elevated value as
+	// "before", so after both windows closed the link was stuck at the
+	// first burst's probability forever. Composed sources must return to
+	// the base rate once every window has closed, and overlap as the max.
+	sched := sim.NewScheduler(1)
+	a, _ := link(sched)
+	a.LossProb = 0.001
+	p := NewPlan(sched)
+	us := sim.Microsecond
+	p.LossBurst(a, sim.Time(5*us), 10*us, 0.3)  // [5, 15)
+	p.LossBurst(a, sim.Time(10*us), 10*us, 0.2) // [10, 20) overlaps
+
+	probeAt := func(at sim.Duration) *float64 {
+		v := new(float64)
+		sched.At(sim.Time(at), func() { *v = a.EffectiveLossProb() })
+		return v
+	}
+	first := probeAt(6 * us)    // only burst 1
+	overlap := probeAt(12 * us) // both: max(0.3, 0.2)
+	second := probeAt(17 * us)  // only burst 2
+	after := probeAt(25 * us)   // neither
+	sched.Run()
+
+	if *first != 0.3 || *overlap != 0.3 || *second != 0.2 {
+		t.Fatalf("effective loss = %v/%v/%v, want 0.3/0.3/0.2", *first, *overlap, *second)
+	}
+	if *after != 0.001 {
+		t.Fatalf("effective loss after overlapping bursts = %v, want the base 0.001 (stale restore)", *after)
+	}
+	if len(p.Log) != 4 {
+		t.Fatalf("log = %v, want 4 events", p.Log)
+	}
+}
+
+// fakeRainer records SetRaining transitions with a refcount, mirroring
+// colo.Circuit's semantics.
+type fakeRainer struct {
+	depth int
+	log   []string
+}
+
+func (f *fakeRainer) FaultName() string { return "Carteret<->Secaucus/microwave" }
+func (f *fakeRainer) SetRaining(r bool) {
+	if r {
+		f.depth++
+		f.log = append(f.log, "start")
+	} else {
+		f.depth--
+		f.log = append(f.log, "end")
+	}
+}
+
+func TestRainTimelineFiresAndLogs(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	p := NewPlan(sched)
+	r := &fakeRainer{}
+	us := sim.Microsecond
+	p.RainTimeline(r,
+		RainWindow{At: sim.Time(5 * us), Dur: 10 * us},  // [5, 15)
+		RainWindow{At: sim.Time(12 * us), Dur: 10 * us}, // [12, 22) overlaps
+	)
+	var midDepth int
+	sched.At(sim.Time(13*us), func() { midDepth = r.depth })
+	sched.Run()
+
+	if midDepth != 2 {
+		t.Fatalf("depth during overlap = %d, want 2", midDepth)
+	}
+	if r.depth != 0 {
+		t.Fatalf("final depth = %d, want 0", r.depth)
+	}
+	want := []Record{
+		{At: sim.Time(5 * us), Kind: RainStart, Target: "Carteret<->Secaucus/microwave"},
+		{At: sim.Time(12 * us), Kind: RainStart, Target: "Carteret<->Secaucus/microwave"},
+		{At: sim.Time(15 * us), Kind: RainEnd, Target: "Carteret<->Secaucus/microwave"},
+		{At: sim.Time(22 * us), Kind: RainEnd, Target: "Carteret<->Secaucus/microwave"},
+	}
+	if !reflect.DeepEqual(p.Log, want) {
+		t.Fatalf("log = %v, want %v", p.Log, want)
 	}
 }
 

@@ -169,6 +169,10 @@ type ResponseReader struct {
 	// OnRefused, if set, fires once per refusal status (RecoveryTooOld or
 	// RecoveryBadUnit): the requested range is permanently lost.
 	OnRefused func(status uint8)
+	// OnDone, if set, fires once per RecoveryDone terminator — the server
+	// has finished answering one request (served or refused), so callers can
+	// balance requests sent against responses completed.
+	OnDone func()
 }
 
 // Read ingests response-stream bytes, invoking fn for every recovered
@@ -207,6 +211,9 @@ func (rr *ResponseReader) Read(data []byte, fn func(*Msg)) error {
 			}
 		case RecoveryDone:
 			// Range complete.
+			if rr.OnDone != nil {
+				rr.OnDone()
+			}
 		}
 	}
 	return nil

@@ -120,9 +120,16 @@ type Port struct {
 	CutThrough bool
 
 	// LossProb is the probability a transmitted frame is lost in flight —
-	// the medium's error rate, e.g. rain fade on a microwave circuit (§2).
-	// Losses are drawn from the scheduler's deterministic RNG.
+	// the medium's intrinsic error rate. Losses are drawn from the
+	// scheduler's deterministic RNG.
 	LossProb float64
+
+	// lossOverlays are named transient loss sources layered over LossProb
+	// — rain fade on a microwave circuit (§2), a scripted burst, a dirty
+	// connector. The effective per-frame loss probability is the max of
+	// LossProb and every active overlay, so overlapping windows compose
+	// instead of clobbering each other's capture-and-restore value.
+	lossOverlays []lossOverlay
 
 	// Stats.
 	TxFrames, RxFrames  uint64
@@ -164,6 +171,47 @@ func NewPorts(sched *sim.Scheduler, owner Handler, baseName string, n int) []*Po
 
 // SetQueueCapacity overrides the egress buffer size in bytes.
 func (p *Port) SetQueueCapacity(bytes int) { p.capBytes = bytes }
+
+// lossOverlay is one named transient loss source.
+type lossOverlay struct {
+	name string
+	prob float64
+}
+
+// SetLossSource installs or updates the named transient loss source on
+// this port; prob 0 removes it. Each fault mechanism owns a distinct name
+// ("rain", "burst#3", ...) and tears down only its own contribution, so
+// overlapping loss windows restore correctly: the effective probability is
+// always the max over LossProb and the active overlays, never a stale
+// captured value. Overlays live in a small slice in insertion order —
+// deterministic, and the empty case costs the hot path one length check.
+func (p *Port) SetLossSource(name string, prob float64) {
+	for i := range p.lossOverlays {
+		if p.lossOverlays[i].name == name {
+			if prob == 0 {
+				p.lossOverlays = append(p.lossOverlays[:i], p.lossOverlays[i+1:]...)
+			} else {
+				p.lossOverlays[i].prob = prob
+			}
+			return
+		}
+	}
+	if prob != 0 {
+		p.lossOverlays = append(p.lossOverlays, lossOverlay{name: name, prob: prob})
+	}
+}
+
+// EffectiveLossProb is the per-frame loss probability the next transmit
+// will draw against: the max of LossProb and every active overlay.
+func (p *Port) EffectiveLossProb() float64 {
+	loss := p.LossProb
+	for i := range p.lossOverlays {
+		if p.lossOverlays[i].prob > loss {
+			loss = p.lossOverlays[i].prob
+		}
+	}
+	return loss
+}
 
 // Connect joins a and b with a full-duplex link of the given rate and
 // one-way propagation delay.
@@ -386,7 +434,11 @@ func (p *Port) drain() {
 		t.Record(p.Name, trace.CauseQueueing, now)
 	}
 
-	if p.LossProb > 0 && p.sched.Rand().Float64() < p.LossProb {
+	loss := p.LossProb
+	if len(p.lossOverlays) != 0 {
+		loss = p.EffectiveLossProb()
+	}
+	if loss > 0 && p.sched.Rand().Float64() < loss {
 		// The frame leaves the port but never arrives.
 		p.Lost++
 		if t := f.Trace; t != nil {

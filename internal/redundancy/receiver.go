@@ -1,0 +1,311 @@
+package redundancy
+
+// ReceiverConfig tunes the receive side of the policy layer.
+type ReceiverConfig struct {
+	// K mirrors the sender's parity group size; it sizes the hold window
+	// while ParityFEC is active (2*K frames, enough to keep a whole group
+	// plus its successor in flight before giving up on the parity frame).
+	K int
+	// WindowPow2 is log2 of the reorder/retention ring size. Delivered
+	// frames are retained in the ring until overwritten so a later parity
+	// frame can reconstruct a groupmate. Default 8 (256 slots).
+	WindowPow2 int
+	// HoldDup is the hold window under Duplicate: how many frames past a
+	// hole to buffer while waiting for the second copy. Default 16.
+	HoldDup int
+}
+
+// DefaultReceiverConfig matches DefaultSenderConfig.
+func DefaultReceiverConfig() ReceiverConfig { return ReceiverConfig{K: 4, WindowPow2: 8, HoldDup: 16} }
+
+// ReceiverStats are cumulative receive-side counters.
+type ReceiverStats struct {
+	Delivered      uint64 // datagrams handed to Deliver, in order
+	Reconstructed  uint64 // of Delivered: rebuilt from parity, no replay RTT
+	Duplicates     uint64 // redundant copies discarded by sequence
+	LostDeclared   uint64 // sequences given up on (surface as feed gaps -> replay)
+	ParityFrames   uint64 // parity frames received
+	ParityUnused   uint64 // parity arrived but every groupmate made it
+	ParityUnusable uint64 // >=2 losses in group or evidence evicted: fell through to replay
+	BadFrames      uint64 // truncated or unknown-kind frames
+}
+
+// Outcome tells the caller what Consume did with a wire frame, so the
+// transport adapter can finish the frame's trace span with the right end.
+type Outcome uint8
+
+const (
+	// OutDelivered: a data frame that was delivered (possibly unblocking
+	// more held frames behind it).
+	OutDelivered Outcome = iota
+	// OutHeld: stored ahead of a hole, waiting for recovery or declare.
+	OutHeld
+	// OutDup: a redundant copy of an already-seen sequence; discarded.
+	OutDup
+	// OutParityUsed: a parity frame that reconstructed a lost groupmate.
+	OutParityUsed
+	// OutParityUnused: a parity frame whose whole group arrived intact.
+	OutParityUnused
+	// OutParityUnusable: a parity frame that could not help (two or more
+	// groupmates missing, or retained evidence already evicted); the
+	// group's holes are declared immediately so replay starts now.
+	OutParityUnusable
+	// OutBad: unparseable frame.
+	OutBad
+)
+
+// slot states. A done slot retains its payload until the ring laps it, so
+// parity arriving after delivery can still reconstruct a lost groupmate.
+const (
+	slotEmpty = iota
+	slotHeld  // payload buffered, not yet deliverable (hole before it)
+	slotDone  // delivered; payload retained for parity reconstruction
+)
+
+type rxSlot struct {
+	seq       uint32
+	state     uint8
+	recovered bool
+	data      []byte
+}
+
+// Receiver is the receive side of the policy layer: it dedups Duplicate
+// copies, reconstructs single losses from parity frames, and otherwise
+// declares losses promptly so the downstream feed reassembler's gap
+// detection triggers replay. Single-goroutine, virtual-time only.
+type Receiver struct {
+	// Deliver receives each datagram exactly once, in sequence order.
+	// recovered is true for parity-reconstructed datagrams. The slice is
+	// valid only for the duration of the call.
+	Deliver func(payload []byte, recovered bool)
+
+	Stats ReceiverStats
+
+	cfg     ReceiverConfig
+	policy  Policy
+	holdMax uint32 // max span past a hole before declaring losses
+
+	ring    []rxSlot
+	mask    uint32
+	nextSeq uint32 // next sequence to deliver
+	maxSeq  uint32 // highest data sequence seen
+
+	scratch []byte // parity reconstruction accumulator
+	frame   WireFrame
+}
+
+// NewReceiver creates a Receiver in the ReplayOnly policy (hold window
+// zero: any hole is declared immediately, replay heals it).
+func NewReceiver(cfg ReceiverConfig) *Receiver {
+	if cfg.WindowPow2 <= 0 {
+		cfg.WindowPow2 = 8
+	}
+	if cfg.K < 2 || cfg.K > MaxGroup {
+		panic("redundancy: parity group size out of range")
+	}
+	if cfg.HoldDup <= 0 {
+		cfg.HoldDup = 16
+	}
+	size := 1 << cfg.WindowPow2
+	if 2*cfg.K >= size || cfg.HoldDup >= size {
+		panic("redundancy: hold window must be smaller than the ring")
+	}
+	return &Receiver{cfg: cfg, ring: make([]rxSlot, size), mask: uint32(size - 1), nextSeq: 1}
+}
+
+// Policy returns the active policy.
+func (r *Receiver) Policy() Policy { return r.policy }
+
+// NextSeq returns the delivery cursor: every sequence below it has been
+// either delivered or declared lost.
+func (r *Receiver) NextSeq() uint32 { return r.nextSeq }
+
+// Apply switches the receive policy. Shrinking the hold window declares
+// any now-over-budget holes immediately, so a step down to ReplayOnly
+// hands outstanding gaps straight to replay rather than stranding them.
+func (r *Receiver) Apply(p Policy) {
+	r.policy = p
+	switch p {
+	case Duplicate:
+		r.holdMax = uint32(r.cfg.HoldDup)
+	case ParityFEC:
+		r.holdMax = uint32(2 * r.cfg.K)
+	default:
+		r.holdMax = 0
+	}
+	r.enforceHold()
+}
+
+// Consume feeds one wire frame (as produced by a Sender) into the
+// receiver. Deliveries happen synchronously via the Deliver callback.
+func (r *Receiver) Consume(b []byte) Outcome {
+	if err := ParseFrame(b, &r.frame); err != nil {
+		r.Stats.BadFrames++
+		return OutBad
+	}
+	if r.frame.Parity {
+		return r.consumeParity()
+	}
+	return r.consumeData(r.frame.Seq, r.frame.Payload, false)
+}
+
+// consumeData inserts one data payload (from the wire or reconstructed
+// from parity) and drains everything it unblocks.
+func (r *Receiver) consumeData(seq uint32, payload []byte, recovered bool) Outcome {
+	if seq < r.nextSeq {
+		r.Stats.Duplicates++
+		return OutDup
+	}
+	s := &r.ring[seq&r.mask]
+	if s.state != slotEmpty && s.seq == seq {
+		r.Stats.Duplicates++
+		return OutDup
+	}
+	// Make room: the span [nextSeq, seq] must fit the ring. Anything the
+	// insert would lap is out of patience by definition.
+	if seq-r.nextSeq >= uint32(len(r.ring)) {
+		r.declareTo(seq - uint32(len(r.ring)) + 1)
+	}
+	s.seq = seq
+	s.state = slotHeld
+	s.recovered = recovered
+	s.data = append(s.data[:0], payload...)
+	if seq > r.maxSeq {
+		r.maxSeq = seq
+	}
+	if seq != r.nextSeq {
+		r.enforceHold()
+		if s.state == slotHeld {
+			return OutHeld
+		}
+		return OutDelivered // enforceHold declared past the hole and flushed it
+	}
+	r.drain()
+	return OutDelivered
+}
+
+// drain delivers the contiguous run starting at nextSeq.
+func (r *Receiver) drain() {
+	for {
+		s := &r.ring[r.nextSeq&r.mask]
+		if s.state != slotHeld || s.seq != r.nextSeq {
+			break
+		}
+		r.deliver(s)
+	}
+}
+
+// deliver hands one held slot downstream and retains it for parity.
+func (r *Receiver) deliver(s *rxSlot) {
+	r.Stats.Delivered++
+	if s.recovered {
+		r.Stats.Reconstructed++
+	}
+	if r.Deliver != nil {
+		r.Deliver(s.data, s.recovered)
+	}
+	s.state = slotDone
+	r.nextSeq++
+}
+
+// enforceHold declares losses once the span past the oldest hole exceeds
+// the policy's hold window.
+func (r *Receiver) enforceHold() {
+	if r.maxSeq >= r.nextSeq && r.maxSeq-r.nextSeq+1 > r.holdMax {
+		r.declareTo(r.maxSeq + 1 - r.holdMax)
+	}
+}
+
+// declareTo resolves every sequence below target: held frames are
+// delivered, missing ones are declared lost (the downstream reassembler
+// sees the gap and kicks off replay), then the cursor drains whatever the
+// skip unblocked.
+func (r *Receiver) declareTo(target uint32) {
+	for r.nextSeq < target {
+		s := &r.ring[r.nextSeq&r.mask]
+		if s.state == slotHeld && s.seq == r.nextSeq {
+			r.deliver(s)
+			continue
+		}
+		r.Stats.LostDeclared++
+		r.nextSeq++
+	}
+	r.drain()
+}
+
+// consumeParity applies one parity frame to its group.
+func (r *Receiver) consumeParity() Outcome {
+	r.Stats.ParityFrames++
+	start, n := r.frame.Seq, uint32(r.frame.N)
+	if n == 0 || start+n <= r.nextSeq && !r.groupRetained(start, n) {
+		// Entirely in the past with evidence gone — nothing to do.
+		r.Stats.ParityUnused++
+		return OutParityUnused
+	}
+	missing, missingSeq, unusable := uint32(0), uint32(0), false
+	for q := start; q < start+n; q++ {
+		s := &r.ring[q&r.mask]
+		if s.state != slotEmpty && s.seq == q {
+			continue // payload on hand (held or retained)
+		}
+		if q < r.nextSeq {
+			unusable = true // already declared lost and evidence evicted
+			continue
+		}
+		missing++
+		missingSeq = q
+	}
+	switch {
+	case missing == 0 && !unusable:
+		r.Stats.ParityUnused++
+		return OutParityUnused
+	case missing == 1 && !unusable:
+		if r.reconstruct(start, n, missingSeq) {
+			return OutParityUsed
+		}
+	}
+	// Two or more losses (or stale evidence): the code is exhausted.
+	// Declare the group's holes now — waiting longer cannot help, and
+	// replay only starts once the gap surfaces downstream.
+	r.Stats.ParityUnusable++
+	if start+n > r.nextSeq {
+		r.declareTo(start + n)
+	}
+	return OutParityUnusable
+}
+
+// groupRetained reports whether every frame of [start, start+n) is still
+// in the ring.
+func (r *Receiver) groupRetained(start, n uint32) bool {
+	for q := start; q < start+n; q++ {
+		s := &r.ring[q&r.mask]
+		if s.state == slotEmpty || s.seq != q {
+			return false
+		}
+	}
+	return true
+}
+
+// reconstruct rebuilds the single missing frame of a parity group:
+// payload = parity XOR survivors, length = lenXor XOR survivor lengths.
+// Returns false (leaving the caller to declare) if the implied length is
+// impossible — the never-emit-corrupt-frames guard.
+func (r *Receiver) reconstruct(start, n, missingSeq uint32) bool {
+	r.scratch = append(r.scratch[:0], r.frame.Payload...)
+	length := r.frame.LenXor
+	for q := start; q < start+n; q++ {
+		if q == missingSeq {
+			continue
+		}
+		s := &r.ring[q&r.mask]
+		for i, b := range s.data {
+			r.scratch[i] ^= b
+		}
+		length ^= uint16(len(s.data))
+	}
+	if int(length) > len(r.scratch) {
+		return false
+	}
+	r.consumeData(missingSeq, r.scratch[:length], true)
+	return true
+}

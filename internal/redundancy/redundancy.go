@@ -1,0 +1,142 @@
+// Package redundancy is the adaptive recovery-policy layer for lossy WAN
+// circuits (§2: firms run the rain-faded microwave path anyway, because
+// latency wins — so the engineering problem is operating gracefully while
+// degraded, not avoiding degradation).
+//
+// The layer sits between a feed publisher and a lossy path. The sender
+// wraps each datagram in a small redundancy header (a dense per-frame
+// sequence) and, depending on the active policy, transmits proactive
+// redundancy alongside the data:
+//
+//   - ReplayOnly — the status quo: one copy per datagram; every loss costs
+//     a full replay round trip over the fiber side channel.
+//   - Duplicate — send-twice: each datagram goes out twice (staggered on
+//     the same path, or mirrored onto a second path); the receiver dedups
+//     by sequence. Residual loss is p² per frame instead of p.
+//   - ParityFEC(k) — one XOR parity frame per group of k data frames; the
+//     receiver reconstructs any single loss per group from the k−1
+//     survivors and the parity, with no replay round trip. Two losses in a
+//     group exhaust the code and fall through to replay.
+//
+// A closed-loop Controller (controller.go) samples per-window loss
+// statistics on virtual-time ticks and walks the policy ladder
+// ReplayOnly ↔ ParityFEC ↔ Duplicate through deterministic hysteresis
+// thresholds. Everything in this package derives from virtual-time state:
+// no wall clock, no global RNG, no map iteration — a run armed with this
+// layer remains a pure function of its seed.
+package redundancy
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Policy is a recovery policy. The numeric order is the controller's
+// escalation ladder: each step up spends more proactive redundancy to
+// shave more replay round trips.
+type Policy uint8
+
+const (
+	// ReplayOnly sends one copy and leans entirely on gap replay.
+	ReplayOnly Policy = iota
+	// ParityFEC adds one XOR parity frame per group of K data frames.
+	ParityFEC
+	// Duplicate transmits every data frame twice.
+	Duplicate
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case ReplayOnly:
+		return "replay-only"
+	case ParityFEC:
+		return "parity-fec"
+	case Duplicate:
+		return "duplicate"
+	}
+	return "unknown"
+}
+
+// Adapter is anything the controller reconfigures when a policy decision
+// fires — the Sender and Receiver both implement it.
+type Adapter interface {
+	Apply(Policy)
+}
+
+// Wire format: every frame on the redundant path starts with a kind byte
+// and a big-endian uint32 sequence. Data frames carry the wrapped datagram
+// as payload. Parity frames cover the group of data frames starting at the
+// header sequence: count covered (1 byte), the XOR of the covered payload
+// lengths (2 bytes, for reconstructing the lost frame's exact length), then
+// the byte-wise XOR of the covered payloads zero-padded to the longest.
+const (
+	kindData   = 0x01
+	kindParity = 0x02
+
+	dataHeaderLen   = 5 // kind(1) + seq(4)
+	parityHeaderLen = 8 // kind(1) + groupStart(4) + n(1) + lenXor(2)
+
+	// MaxGroup bounds a parity group: the count field is one byte, and
+	// reconstruction cost grows with the group.
+	MaxGroup = 255
+)
+
+// Errors returned by the frame parser.
+var (
+	ErrShortFrame = errors.New("redundancy: truncated frame")
+	ErrBadKind    = errors.New("redundancy: unknown frame kind")
+)
+
+// AppendDataFrame wraps payload as data frame seq, appending to b.
+func AppendDataFrame(b []byte, seq uint32, payload []byte) []byte {
+	b = append(b, kindData)
+	b = binary.BigEndian.AppendUint32(b, seq)
+	return append(b, payload...)
+}
+
+// AppendParityFrame appends a parity frame covering the n data frames
+// [start, start+n): lenXor is the XOR of their payload lengths, parity the
+// XOR of their zero-padded payloads.
+func AppendParityFrame(b []byte, start uint32, n uint8, lenXor uint16, parity []byte) []byte {
+	b = append(b, kindParity)
+	b = binary.BigEndian.AppendUint32(b, start)
+	b = append(b, n)
+	b = binary.BigEndian.AppendUint16(b, lenXor)
+	return append(b, parity...)
+}
+
+// WireFrame is a parsed redundancy-layer frame.
+type WireFrame struct {
+	Parity  bool
+	Seq     uint32 // data: frame sequence; parity: first covered sequence
+	N       uint8  // parity only: frames covered
+	LenXor  uint16 // parity only: XOR of covered payload lengths
+	Payload []byte // data: the datagram; parity: XOR of padded payloads
+}
+
+// ParseFrame decodes a redundancy-layer frame in place (Payload aliases b).
+func ParseFrame(b []byte, f *WireFrame) error {
+	if len(b) < dataHeaderLen {
+		return ErrShortFrame
+	}
+	switch b[0] {
+	case kindData:
+		f.Parity = false
+		f.Seq = binary.BigEndian.Uint32(b[1:5])
+		f.N, f.LenXor = 0, 0
+		f.Payload = b[dataHeaderLen:]
+		return nil
+	case kindParity:
+		if len(b) < parityHeaderLen {
+			return ErrShortFrame
+		}
+		f.Parity = true
+		f.Seq = binary.BigEndian.Uint32(b[1:5])
+		f.N = b[5]
+		f.LenXor = binary.BigEndian.Uint16(b[6:8])
+		f.Payload = b[parityHeaderLen:]
+		return nil
+	}
+	return ErrBadKind
+}

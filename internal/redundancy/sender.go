@@ -1,0 +1,175 @@
+package redundancy
+
+import (
+	"tradenet/internal/sim"
+)
+
+// SenderConfig tunes the transmit side of the policy layer.
+type SenderConfig struct {
+	// K is the parity group size for ParityFEC: one parity frame is
+	// emitted per K data frames. Must be in [2, MaxGroup].
+	K int
+	// Stagger delays the Duplicate second copy by this much virtual time
+	// on the primary path. Zero sends the copy back to back — equivalent
+	// under the simulator's i.i.d. per-frame loss draws, since each copy
+	// rolls its own loss independently at drain time. A real fade is
+	// bursty, so the knob exists for timelines that model correlation.
+	Stagger sim.Duration
+}
+
+// DefaultSenderConfig: parity groups of 4 (25% overhead when FEC is
+// active), back-to-back duplicates.
+func DefaultSenderConfig() SenderConfig { return SenderConfig{K: 4} }
+
+// SenderStats are cumulative transmit-side counters, suitable for
+// metrics.Registry registration.
+type SenderStats struct {
+	DataFrames    uint64 // first copies of wrapped datagrams
+	DupFrames     uint64 // Duplicate second copies
+	ParityFrames  uint64 // parity frames emitted
+	DataBytes     uint64 // payload bytes in first copies
+	OverheadBytes uint64 // every wire byte beyond first-copy payloads
+}
+
+// Sender wraps a datagram stream in the redundancy wire format and emits
+// per-policy proactive redundancy. It is single-goroutine, virtual-time
+// only, and allocation-free after warmup (scratch buffers and staggered
+// copies recycle through free lists).
+type Sender struct {
+	// Emit transmits one wire frame on the primary (microwave) path. The
+	// slice is valid only for the duration of the call.
+	Emit func(b []byte)
+	// Emit2, if set, carries Duplicate second copies on an alternate
+	// path (cross-path duplication). When nil the copy reuses Emit.
+	Emit2 func(b []byte)
+
+	Stats SenderStats
+
+	sched  *sim.Scheduler
+	cfg    SenderConfig
+	policy Policy
+	seq    uint32
+
+	// Parity accumulator for the open group [groupStart, groupStart+groupN).
+	groupStart uint32
+	groupN     uint8
+	lenXor     uint16
+	parity     []byte
+
+	buf  []byte    // scratch wire buffer, reused per frame
+	jobs []*dupJob // free list for staggered duplicate copies
+}
+
+// NewSender creates a Sender in the ReplayOnly policy. sched is needed
+// only when cfg.Stagger is nonzero.
+func NewSender(sched *sim.Scheduler, cfg SenderConfig) *Sender {
+	if cfg.K < 2 || cfg.K > MaxGroup {
+		panic("redundancy: parity group size out of range")
+	}
+	return &Sender{sched: sched, cfg: cfg}
+}
+
+// Policy returns the active policy.
+func (s *Sender) Policy() Policy { return s.policy }
+
+// NextSeq returns the sequence the next datagram will carry.
+func (s *Sender) NextSeq() uint32 { return s.seq + 1 }
+
+// Apply switches the transmit policy. Leaving ParityFEC flushes a partial
+// parity group first, so every frame already on the wire stays covered;
+// entering it opens a fresh group at the next sequence. Policy changes are
+// therefore safe at any frame boundary — the wire format carries all group
+// state, and the receiver needs no notice.
+func (s *Sender) Apply(p Policy) {
+	if p == s.policy {
+		return
+	}
+	if s.policy == ParityFEC && s.groupN > 0 {
+		s.flushParity()
+	}
+	s.policy = p
+	if p == ParityFEC {
+		s.resetGroup()
+	}
+}
+
+// Send transmits one datagram under the active policy. payload must fit
+// the wire format's uint16 length XOR (64 KiB), far above any MTU here.
+func (s *Sender) Send(payload []byte) {
+	s.seq++
+	s.buf = AppendDataFrame(s.buf[:0], s.seq, payload)
+	s.Stats.DataFrames++
+	s.Stats.DataBytes += uint64(len(payload))
+	s.Stats.OverheadBytes += dataHeaderLen
+	s.Emit(s.buf)
+
+	switch s.policy {
+	case Duplicate:
+		s.Stats.DupFrames++
+		s.Stats.OverheadBytes += uint64(len(s.buf))
+		switch {
+		case s.Emit2 != nil:
+			s.Emit2(s.buf)
+		case s.cfg.Stagger > 0:
+			j := s.getJob()
+			j.b = append(j.b, s.buf...)
+			s.sched.AfterArgs(s.cfg.Stagger, sim.PrioDeliver, sendDup, s, j)
+		default:
+			s.Emit(s.buf)
+		}
+	case ParityFEC:
+		s.accumulate(payload)
+		if int(s.groupN) == s.cfg.K {
+			s.flushParity()
+			s.resetGroup()
+		}
+	}
+}
+
+// accumulate folds payload into the open parity group.
+func (s *Sender) accumulate(payload []byte) {
+	for len(s.parity) < len(payload) {
+		s.parity = append(s.parity, 0)
+	}
+	for i, b := range payload {
+		s.parity[i] ^= b
+	}
+	s.lenXor ^= uint16(len(payload))
+	s.groupN++
+}
+
+// flushParity emits the parity frame for the open group.
+func (s *Sender) flushParity() {
+	s.buf = AppendParityFrame(s.buf[:0], s.groupStart, s.groupN, s.lenXor, s.parity)
+	s.Stats.ParityFrames++
+	s.Stats.OverheadBytes += uint64(len(s.buf))
+	s.Emit(s.buf)
+}
+
+// resetGroup opens a fresh parity group at the next sequence.
+func (s *Sender) resetGroup() {
+	s.groupStart = s.seq + 1
+	s.groupN = 0
+	s.lenXor = 0
+	s.parity = s.parity[:0]
+}
+
+// dupJob carries one staggered duplicate copy through the scheduler
+// without a closure; the buffer recycles through the sender's free list.
+type dupJob struct{ b []byte }
+
+func (s *Sender) getJob() *dupJob {
+	if n := len(s.jobs); n > 0 {
+		j := s.jobs[n-1]
+		s.jobs = s.jobs[:n-1]
+		j.b = j.b[:0]
+		return j
+	}
+	return &dupJob{}
+}
+
+func sendDup(a, b any) {
+	s, j := a.(*Sender), b.(*dupJob)
+	s.Emit(j.b)
+	s.jobs = append(s.jobs, j)
+}

@@ -82,9 +82,17 @@ const (
 	EndLost
 	// EndPurged: flushed from a queue by a device failure.
 	EndPurged
+	// EndDeduped: a redundant WAN copy discarded by the redundancy layer —
+	// its sequence had already been delivered or held (send-twice working
+	// as intended).
+	EndDeduped
+	// EndReconstructed: a parity frame spent rebuilding a lost groupmate —
+	// the frame's bytes live on in the reconstructed datagram, with no
+	// replay round trip.
+	EndReconstructed
 
 	// NumEnds sizes per-end accumulation arrays.
-	NumEnds = 7
+	NumEnds = 9
 )
 
 // String returns the end kind's label.
@@ -104,6 +112,10 @@ func (e End) String() string {
 		return "lost"
 	case EndPurged:
 		return "purged"
+	case EndDeduped:
+		return "deduped"
+	case EndReconstructed:
+		return "reconstructed"
 	}
 	return "unknown"
 }
