@@ -7,6 +7,7 @@
 //	tradenet -experiment table1 -frames 500000
 //	tradenet -experiment designs -scale paper
 //	tradenet -experiment attribution -trace trace.json
+//	tradenet -experiment all -telemetry out/telemetry
 //
 // Experiments (see DESIGN.md's per-experiment index):
 //
@@ -42,6 +43,15 @@
 // Pass -csv <dir> to also export the Figure 2 data series as CSV. Pass
 // -trace <file> with -experiment attribution to export the recorded spans
 // as Chrome trace-event JSON (chrome://tracing, Perfetto).
+//
+// Pass -telemetry <dir> to arm the virtual-time telemetry plane and write
+// one NDJSON run manifest per run under <dir> (schema tradenet.run.v1; see
+// DESIGN.md "Telemetry plane"). Experiments with sampler wiring (designs,
+// wanredundancy) emit time-resolved metric series, registry dumps, and
+// scheduler profiles; every other experiment emits a meta + host-stats
+// manifest so the perf observatory (cmd/tradestat) can track its wall
+// clock and GC pressure across revisions. Everything in a manifest except
+// the hoststats line is a pure function of the seed.
 package main
 
 import (
@@ -51,6 +61,7 @@ import (
 	"os"
 
 	"tradenet/internal/core"
+	"tradenet/internal/manifest"
 	"tradenet/internal/sim"
 )
 
@@ -67,58 +78,134 @@ type runCfg struct {
 // experimentSpec is one runnable experiment: its id (the -experiment value)
 // and runner. The single ordered experiments slice below drives -experiment
 // all, the usage listing, and lookup — one registry, no parallel lists to
-// drift apart.
+// drift apart. Runners print their report and return any rich run
+// manifests; nil means the driver synthesizes a meta-only manifest when
+// telemetry is requested.
 type experimentSpec struct {
 	id  string
-	run func(cfg runCfg)
+	run func(cfg runCfg) []*manifest.Artifact
+}
+
+// show adapts a print-only experiment to the runner signature.
+func show(run func(c runCfg) fmt.Stringer) func(runCfg) []*manifest.Artifact {
+	return func(c runCfg) []*manifest.Artifact {
+		fmt.Println(run(c))
+		return nil
+	}
+}
+
+// metaArtifact builds a meta-only manifest for experiments without sampler
+// wiring, optionally carrying deterministic text logs.
+func metaArtifact(experiment, design, cell string, seed int64, faults, decisions []manifest.LogRecord) *manifest.Artifact {
+	return &manifest.Artifact{
+		Meta: manifest.Meta{
+			Schema:     manifest.Schema,
+			Experiment: experiment,
+			Design:     design,
+			Cell:       cell,
+			Seed:       seed,
+		},
+		Faults:    faults,
+		Decisions: decisions,
+	}
 }
 
 var experiments = []experimentSpec{
-	{"table1", func(c runCfg) { fmt.Println(core.RunTable1(c.frames, c.seed)) }},
-	{"fig2a", func(c runCfg) { fmt.Println(core.RunFig2a(c.seed)) }},
-	{"fig2b", func(c runCfg) { fmt.Println(core.RunFig2b(c.seed)) }},
-	{"fig2c", func(c runCfg) { fmt.Println(core.RunFig2c(c.seed)) }},
-	{"designs", func(c runCfg) {
+	{"table1", show(func(c runCfg) fmt.Stringer { return core.RunTable1(c.frames, c.seed) })},
+	{"fig2a", show(func(c runCfg) fmt.Stringer { return core.RunFig2a(c.seed) })},
+	{"fig2b", show(func(c runCfg) fmt.Stringer { return core.RunFig2b(c.seed) })},
+	{"fig2c", show(func(c runCfg) fmt.Stringer { return core.RunFig2c(c.seed) })},
+	{"designs", func(c runCfg) []*manifest.Artifact {
 		if c.reps > 1 {
-			fmt.Println(core.RunDesignComparisonSeeds(c.sc, c.bursts, core.Seeds(c.seed, c.reps)))
-			return
+			r := core.RunDesignComparisonSeeds(c.sc, c.bursts, core.Seeds(c.seed, c.reps))
+			fmt.Println(r)
+			var arts []*manifest.Artifact
+			for _, run := range r.Runs {
+				arts = append(arts, run.Artifacts...)
+			}
+			return arts
 		}
-		fmt.Println(core.RunDesignComparison(c.sc, c.bursts))
+		r := core.RunDesignComparison(c.sc, c.bursts)
+		fmt.Println(r)
+		return r.Artifacts
 	}},
-	{"mroute", func(c runCfg) {
+	{"mroute", func(c runCfg) []*manifest.Artifact {
 		if c.reps > 1 {
 			fmt.Println(core.RunMrouteOverflowSeeds(40, 20, 60, core.Seeds(c.seed, c.reps)))
-			return
+			return nil
 		}
 		fmt.Println(core.RunMrouteOverflow(40, 20, 60, c.seed))
+		return nil
 	}},
-	{"generations", func(c runCfg) { fmt.Println(core.RunGenerations()) }},
-	{"merge", func(c runCfg) { fmt.Println(core.RunMergeBottleneck([]int{1, 2, 4, 8}, 50, c.seed)) }},
-	{"overhead", func(c runCfg) { fmt.Println(core.RunHeaderOverhead(c.frames, c.seed)) }},
-	{"partitions", func(c runCfg) { fmt.Println(core.RunPartitionScaling(4)) }},
-	{"budget", func(c runCfg) { fmt.Println(core.RunPerEventBudget(2_000_000)) }},
-	{"wan", func(c runCfg) { fmt.Println(core.RunWAN(1000, c.seed)) }},
+	{"generations", show(func(c runCfg) fmt.Stringer { return core.RunGenerations() })},
+	{"merge", show(func(c runCfg) fmt.Stringer { return core.RunMergeBottleneck([]int{1, 2, 4, 8}, 50, c.seed) })},
+	{"overhead", show(func(c runCfg) fmt.Stringer { return core.RunHeaderOverhead(c.frames, c.seed) })},
+	{"partitions", show(func(c runCfg) fmt.Stringer { return core.RunPartitionScaling(4) })},
+	{"budget", show(func(c runCfg) fmt.Stringer { return core.RunPerEventBudget(2_000_000) })},
+	{"wan", show(func(c runCfg) fmt.Stringer { return core.RunWAN(1000, c.seed) })},
 	// §5 future-work ablations:
-	{"filtermerge", func(c runCfg) { fmt.Println(core.RunFilteredMerge([]int{2, 4, 8}, 50, c.seed)) }},
-	{"placement", func(c runCfg) { fmt.Println(core.RunPlacement(4, 64, 4, 11, 10, c.seed)) }},
-	{"groupmap", func(c runCfg) { fmt.Println(core.RunGroupMapping(1024, 64, 50, c.seed)) }},
-	{"timestamps", func(c runCfg) { fmt.Println(core.RunTimestampPrecision(20_000, c.seed)) }},
-	{"filterplace", func(c runCfg) { fmt.Println(core.RunFilterPlacement()) }},
-	{"dualpath", func(c runCfg) { fmt.Println(core.RunDualPathWAN(5000, c.seed)) }},
-	{"correlated", func(c runCfg) { fmt.Println(core.RunCorrelatedMerge(4, 60, c.seed)) }},
-	{"colocation", func(c runCfg) { fmt.Println(core.RunColocation(2*sim.Microsecond, c.seed)) }},
-	{"metronbbo", func(c runCfg) { fmt.Println(core.RunMetroNBBO(500*sim.Millisecond, c.seed)) }},
-	{"genrt", func(c runCfg) { fmt.Println(core.RunGenerationRoundTrip(c.sc, c.bursts)) }},
-	{"corepin", func(c runCfg) { fmt.Println(core.RunCorePinning(100, c.seed)) }},
-	{"stalequotes", func(c runCfg) {
+	{"filtermerge", show(func(c runCfg) fmt.Stringer { return core.RunFilteredMerge([]int{2, 4, 8}, 50, c.seed) })},
+	{"placement", show(func(c runCfg) fmt.Stringer { return core.RunPlacement(4, 64, 4, 11, 10, c.seed) })},
+	{"groupmap", show(func(c runCfg) fmt.Stringer { return core.RunGroupMapping(1024, 64, 50, c.seed) })},
+	{"timestamps", show(func(c runCfg) fmt.Stringer { return core.RunTimestampPrecision(20_000, c.seed) })},
+	{"filterplace", show(func(c runCfg) fmt.Stringer { return core.RunFilterPlacement() })},
+	{"dualpath", show(func(c runCfg) fmt.Stringer { return core.RunDualPathWAN(5000, c.seed) })},
+	{"correlated", show(func(c runCfg) fmt.Stringer { return core.RunCorrelatedMerge(4, 60, c.seed) })},
+	{"colocation", show(func(c runCfg) fmt.Stringer { return core.RunColocation(2*sim.Microsecond, c.seed) })},
+	{"metronbbo", show(func(c runCfg) fmt.Stringer { return core.RunMetroNBBO(500*sim.Millisecond, c.seed) })},
+	{"genrt", show(func(c runCfg) fmt.Stringer { return core.RunGenerationRoundTrip(c.sc, c.bursts) })},
+	{"corepin", show(func(c runCfg) fmt.Stringer { return core.RunCorePinning(100, c.seed) })},
+	{"stalequotes", show(func(c runCfg) fmt.Stringer {
 		lats := []sim.Duration{500 * sim.Nanosecond, 2 * sim.Microsecond, 5 * sim.Microsecond,
 			10 * sim.Microsecond, 20 * sim.Microsecond, 50 * sim.Microsecond}
-		fmt.Println(core.RunStaleQuotes(lats, 20, 15*sim.Microsecond, c.seed))
+		return core.RunStaleQuotes(lats, 20, 15*sim.Microsecond, c.seed)
+	})},
+	{"failover", func(c runCfg) []*manifest.Artifact {
+		r := core.RunFailover(c.sc, core.Seeds(c.seed, c.reps))
+		fmt.Println(r)
+		var arts []*manifest.Artifact
+		for _, run := range r.Runs {
+			arts = append(arts,
+				metaArtifact("failover", "", "spine", run.Seed,
+					[]manifest.LogRecord{{Name: "faults", Log: run.Spine.FaultLog}}, nil),
+				metaArtifact("failover", "", "wan-outage", run.Seed,
+					[]manifest.LogRecord{{Name: "faults", Log: run.WAN.FaultLog}}, nil))
+		}
+		return arts
 	}},
-	{"failover", func(c runCfg) { fmt.Println(core.RunFailover(c.sc, core.Seeds(c.seed, c.reps))) }},
-	{"oefailover", func(c runCfg) { fmt.Println(core.RunOEFailover(c.sc, core.Seeds(c.seed, c.reps))) }},
-	{"wanredundancy", func(c runCfg) { fmt.Println(core.RunWANRedundancy(c.sc, core.Seeds(c.seed, c.reps))) }},
-	{"attribution", func(c runCfg) {
+	{"oefailover", func(c runCfg) []*manifest.Artifact {
+		r := core.RunOEFailover(c.sc, core.Seeds(c.seed, c.reps))
+		fmt.Println(r)
+		var arts []*manifest.Artifact
+		for _, run := range r.Runs {
+			for _, d := range run.Designs {
+				arts = append(arts, metaArtifact("oefailover", d.Design, "", run.Seed,
+					[]manifest.LogRecord{{Name: "faults", Log: d.FaultLog}}, nil))
+			}
+		}
+		return arts
+	}},
+	{"wanredundancy", func(c runCfg) []*manifest.Artifact {
+		r := core.RunWANRedundancy(c.sc, core.Seeds(c.seed, c.reps))
+		fmt.Println(r)
+		var arts []*manifest.Artifact
+		for _, run := range r.Runs {
+			for _, m := range run.Matrix {
+				if m.Artifact != nil {
+					arts = append(arts, m.Artifact)
+				}
+			}
+			// Designs[0] reuses the Matrix[3] run (same plant, same
+			// artifact) — only the fresh design-sweep cells add manifests.
+			for _, m := range run.Designs[1:] {
+				if m.Artifact != nil {
+					arts = append(arts, m.Artifact)
+				}
+			}
+		}
+		return arts
+	}},
+	{"attribution", func(c runCfg) []*manifest.Artifact {
 		r := core.RunAttribution(c.sc, c.bursts)
 		fmt.Println(r)
 		if c.tracePath != "" {
@@ -138,6 +225,7 @@ var experiments = []experimentSpec{
 			}
 			fmt.Printf("wrote %s\n", c.tracePath)
 		}
+		return nil
 	}},
 }
 
@@ -170,6 +258,8 @@ func main() {
 		reps       = flag.Int("replications", 1, "independent seeds per experiment (seed, seed+1, ...), fanned across CPUs; applies to designs and mroute")
 		csvDir     = flag.String("csv", "", "also write Figure 2 data series as CSV into this directory")
 		tracePath  = flag.String("trace", "", "write the attribution experiment's Chrome trace JSON to this file")
+		telDir     = flag.String("telemetry", "", "arm the telemetry plane and write NDJSON run manifests into this directory")
+		sampleUs   = flag.Int64("sample-interval-us", 500, "telemetry sampling interval in virtual microseconds")
 	)
 	flag.Parse()
 
@@ -178,6 +268,9 @@ func main() {
 		sc = core.PaperScenario()
 	}
 	sc.Seed = *seed
+	if *telDir != "" {
+		sc.Telemetry = &core.TelemetrySpec{Interval: sim.Duration(*sampleUs) * sim.Microsecond}
+	}
 
 	if *csvDir != "" {
 		files, err := core.WriteFigureCSVs(*csvDir, *seed)
@@ -193,17 +286,48 @@ func main() {
 	cfg := runCfg{sc: sc, seed: *seed, frames: *frames, bursts: *bursts,
 		reps: *reps, tracePath: *tracePath}
 
+	// runOne executes the experiment; with -telemetry it brackets the run
+	// with a wall-clock/MemStats host collector and collects manifests (a
+	// synthesized meta-only one when the runner emits none), so every
+	// experiment leaves a trace for the perf observatory.
+	var manifests []*manifest.Artifact
+	runOne := func(e experimentSpec) {
+		if *telDir == "" {
+			e.run(cfg)
+			return
+		}
+		hc := manifest.BeginHostStats()
+		arts := e.run(cfg)
+		host := hc.End()
+		if len(arts) == 0 {
+			arts = []*manifest.Artifact{metaArtifact(e.id, "", "", *seed, nil, nil)}
+		}
+		for _, a := range arts {
+			a.Host = host
+		}
+		manifests = append(manifests, arts...)
+	}
+
 	if *experiment == "all" {
 		for _, e := range experiments {
 			fmt.Printf("=== %s ===\n", e.id)
-			e.run(cfg)
+			runOne(e)
 		}
-		return
+	} else {
+		e, ok := lookupExperiment(*experiment)
+		if !ok {
+			writeUsage(os.Stderr, *experiment)
+			os.Exit(2)
+		}
+		runOne(e)
 	}
-	e, ok := lookupExperiment(*experiment)
-	if !ok {
-		writeUsage(os.Stderr, *experiment)
-		os.Exit(2)
+
+	if *telDir != "" {
+		paths, err := manifest.WriteDir(*telDir, manifests)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d run manifests to %s\n", len(paths), *telDir)
 	}
-	e.run(cfg)
 }

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchBest parses `go test -bench` output and returns the best (highest)
+// events/s per benchmark name, GOMAXPROCS suffix stripped. With -count N
+// each benchmark appears N times; best-of is the honest aggregate on a
+// noisy box (the slow samples measure the machine, not the code).
+func benchBest(r io.Reader) (map[string]float64, error) {
+	best := map[string]float64{}
+	procSuffix := regexp.MustCompile(`-\d+$`)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		for i := 1; i+1 < len(fields); i++ {
+			if fields[i+1] != "events/s" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad events/s value %q", name, fields[i])
+			}
+			if v > best[name] {
+				best[name] = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return best, nil
+}
+
+// runBench compares two bench outputs on events/s, best-of per benchmark,
+// and fails when head drops more than evThresh below base on any
+// benchmark both sides report.
+func runBench(w io.Writer, basePath, headPath string, evThresh float64) error {
+	parse := func(path string) (map[string]float64, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		m, err := benchBest(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if len(m) == 0 {
+			return nil, fmt.Errorf("%s: no benchmarks reporting events/s", path)
+		}
+		return m, nil
+	}
+	base, err := parse(basePath)
+	if err != nil {
+		return err
+	}
+	head, err := parse(headPath)
+	if err != nil {
+		return err
+	}
+
+	all := make([]string, 0, len(base))
+	for n := range base {
+		all = append(all, n)
+	}
+	sort.Strings(all)
+	names := all[:0]
+	for _, n := range all {
+		if _, ok := head[n]; ok {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no common benchmarks between %s and %s", basePath, headPath)
+	}
+
+	rows := make([][]string, 0, len(names))
+	var regressions []string
+	for _, n := range names {
+		b, h := base[n], head[n]
+		bad := h < (1-evThresh)*b
+		delta := fmt.Sprintf("%+.1f%%", 100*(h/b-1))
+		if bad {
+			delta += " !"
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f -> %.0f events/s (%.1f%%), beyond the %.0f%% gate",
+				n, b, h, 100*h/b, 100*evThresh))
+		}
+		rows = append(rows, []string{n, fmt.Sprintf("%.0f", b), fmt.Sprintf("%.0f", h), delta})
+	}
+	fmt.Fprintf(w, "Bench gate: %s (base) vs %s (head), best-of events/s\n", basePath, headPath)
+	fmt.Fprint(w, table([]string{"benchmark", "base ev/s", "head ev/s", "delta"}, rows))
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(w, "REGRESSION %s\n", r)
+		}
+		return fmt.Errorf("%d regression(s)", len(regressions))
+	}
+	fmt.Fprintln(w, "ok: no regressions")
+	return nil
+}

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"tradenet/internal/manifest"
+)
+
+// runCompare matches manifests between base and head by run identity and
+// gates head's events/sec and alloc/event against base. Runs present on
+// only one side are listed but don't gate (experiments come and go across
+// PRs); matched runs without host stats or event counts are skipped for
+// the rate and reported as such.
+func runCompare(w io.Writer, baseDir, headDir string, evThresh, gcThresh float64, csvPath string) error {
+	base, err := loadArtifacts(baseDir)
+	if err != nil {
+		return err
+	}
+	head, err := loadArtifacts(headDir)
+	if err != nil {
+		return err
+	}
+	baseBy := byKey(base)
+	headBy := byKey(head)
+
+	keys := make([]string, 0, len(baseBy))
+	for k := range baseBy {
+		if _, ok := headBy[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	type row struct {
+		key                  string
+		baseEv, headEv       float64 // events/sec
+		baseAlloc, headAlloc float64 // alloc bytes/event
+		evBad, gcBad         bool
+	}
+	var rows []row
+	var regressions []string
+	for _, k := range keys {
+		b, h := baseBy[k], headBy[k]
+		r := row{key: k,
+			baseEv: b.EventsPerSec(), headEv: h.EventsPerSec(),
+			baseAlloc: b.AllocPerEvent(), headAlloc: h.AllocPerEvent()}
+		if r.baseEv > 0 && r.headEv > 0 && r.headEv < (1-evThresh)*r.baseEv {
+			r.evBad = true
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: events/sec %.0f -> %.0f (%.1f%%), beyond the %.0f%% gate",
+				k, r.baseEv, r.headEv, 100*r.headEv/r.baseEv, 100*evThresh))
+		}
+		if r.baseAlloc > 0 && r.headAlloc > 0 && r.headAlloc > (1+gcThresh)*r.baseAlloc {
+			r.gcBad = true
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: alloc/event %.1f -> %.1f B (%.1f%%), beyond the %.0f%% GC-pressure gate",
+				k, r.baseAlloc, r.headAlloc, 100*r.headAlloc/r.baseAlloc, 100*gcThresh))
+		}
+		rows = append(rows, r)
+	}
+
+	render := make([][]string, 0, len(rows))
+	var csv strings.Builder
+	csv.WriteString("run,base_events_per_sec,head_events_per_sec,events_ratio,base_alloc_per_event,head_alloc_per_event,alloc_ratio\n")
+	for _, r := range rows {
+		render = append(render, []string{
+			r.key,
+			rate(r.baseEv), rate(r.headEv), ratioCell(r.baseEv, r.headEv, r.evBad, false),
+			bytesPer(r.baseAlloc), bytesPer(r.headAlloc), ratioCell(r.baseAlloc, r.headAlloc, r.gcBad, true),
+		})
+		fmt.Fprintf(&csv, "%s,%.0f,%.0f,%s,%.2f,%.2f,%s\n",
+			r.key, r.baseEv, r.headEv, csvRatio(r.baseEv, r.headEv),
+			r.baseAlloc, r.headAlloc, csvRatio(r.baseAlloc, r.headAlloc))
+	}
+	fmt.Fprintf(w, "Telemetry comparison: %s (base) vs %s (head), %d matched run(s)\n",
+		baseDir, headDir, len(rows))
+	fmt.Fprint(w, table([]string{"run", "base ev/s", "head ev/s", "delta", "base B/ev", "head B/ev", "delta"}, render))
+	for _, k := range onlyIn(baseBy, headBy) {
+		fmt.Fprintf(w, "only in base: %s\n", k)
+	}
+	for _, k := range onlyIn(headBy, baseBy) {
+		fmt.Fprintf(w, "only in head: %s\n", k)
+	}
+
+	if csvPath != "" {
+		if err := os.WriteFile(csvPath, []byte(csv.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", csvPath)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(w, "REGRESSION %s\n", r)
+		}
+		return fmt.Errorf("%d regression(s)", len(regressions))
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("no matched runs between %s and %s", baseDir, headDir)
+	}
+	fmt.Fprintln(w, "ok: no regressions")
+	return nil
+}
+
+// byKey indexes artifacts by run identity; a duplicate key keeps the
+// first (LoadDir order is deterministic).
+func byKey(arts []*manifest.Artifact) map[string]*manifest.Artifact {
+	m := make(map[string]*manifest.Artifact, len(arts))
+	for _, a := range arts {
+		k := runKey(a)
+		if _, ok := m[k]; !ok {
+			m[k] = a
+		}
+	}
+	return m
+}
+
+// onlyIn returns keys of a not present in b, sorted.
+func onlyIn(a, b map[string]*manifest.Artifact) []string {
+	var out []string
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func rate(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+func bytesPer(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// ratioCell renders head/base; flagged cells carry a marker so the
+// regression is visible in the table, not only in the FAIL lines.
+func ratioCell(base, head float64, bad, moreIsWorse bool) string {
+	if base == 0 || head == 0 {
+		return "-"
+	}
+	s := fmt.Sprintf("%+.1f%%", 100*(head/base-1))
+	if bad {
+		s += " !"
+	}
+	_ = moreIsWorse
+	return s
+}
+
+func csvRatio(base, head float64) string {
+	if base == 0 || head == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%.4f", head/base)
+}
+
+// runTrend renders events/sec per run across telemetry directories in
+// argument order — the perf trajectory across revisions.
+func runTrend(w io.Writer, dirs []string, csvPath string) error {
+	cols := make([]map[string]*manifest.Artifact, len(dirs))
+	keySet := map[string]bool{}
+	for i, d := range dirs {
+		arts, err := loadArtifacts(d)
+		if err != nil {
+			return err
+		}
+		cols[i] = byKey(arts)
+		for k := range cols[i] {
+			keySet[k] = true
+		}
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	headers := append([]string{"run"}, dirs...)
+	rows := make([][]string, 0, len(keys))
+	var csv strings.Builder
+	csv.WriteString("run," + strings.Join(dirs, ",") + "\n")
+	for _, k := range keys {
+		row := []string{k}
+		csvRow := []string{k}
+		for i := range dirs {
+			v := 0.0
+			if a, ok := cols[i][k]; ok {
+				v = a.EventsPerSec()
+			}
+			row = append(row, rate(v))
+			csvRow = append(csvRow, fmt.Sprintf("%.0f", v))
+		}
+		rows = append(rows, row)
+		csv.WriteString(strings.Join(csvRow, ",") + "\n")
+	}
+	fmt.Fprintf(w, "events/sec trend across %d revision(s)\n", len(dirs))
+	fmt.Fprint(w, table(headers, rows))
+	if csvPath != "" {
+		if err := os.WriteFile(csvPath, []byte(csv.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", csvPath)
+	}
+	return nil
+}

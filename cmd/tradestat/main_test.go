@@ -1,0 +1,195 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tradenet/internal/manifest"
+)
+
+// writeTel writes one telemetry dir of manifests with the given events/sec
+// (events fixed, wall time derived) and alloc/event figures.
+func writeTel(t *testing.T, dir string, evPerSec, allocPerEvent map[string]float64) {
+	t.Helper()
+	const events = 1_000_000
+	var arts []*manifest.Artifact
+	for name, ev := range evPerSec {
+		a := &manifest.Artifact{
+			Meta: manifest.Meta{Schema: manifest.Schema, Experiment: name, Seed: 1, Events: events},
+			Host: &manifest.HostStats{
+				WallNs:     int64(float64(events) / ev * 1e9),
+				AllocBytes: uint64(allocPerEvent[name] * events),
+			},
+		}
+		arts = append(arts, a)
+	}
+	if _, err := manifest.WriteDir(dir, arts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompareFlagsInjectedRegression is the acceptance check: a 5% drop in
+// events/sec between two manifest sets must fail the default 2% gate, and
+// the same sets must pass once the threshold is loosened past the drop.
+func TestCompareFlagsInjectedRegression(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "base")
+	head := filepath.Join(t.TempDir(), "head")
+	writeTel(t, base, map[string]float64{"designs": 10_000_000, "wan": 5_000_000}, map[string]float64{"designs": 100, "wan": 50})
+	writeTel(t, head, map[string]float64{"designs": 9_500_000, "wan": 5_000_000}, map[string]float64{"designs": 100, "wan": 50})
+
+	var out strings.Builder
+	err := runCompare(&out, base, head, 0.02, 0.10, "")
+	if err == nil {
+		t.Fatalf("5%% events/sec drop passed the 2%% gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION designs-seed1: events/sec") {
+		t.Errorf("regression not attributed to the right run:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "REGRESSION wan-seed1") {
+		t.Errorf("unregressed run flagged:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := runCompare(&out, base, head, 0.10, 0.10, ""); err != nil {
+		t.Errorf("5%% drop failed the 10%% gate: %v\n%s", err, out.String())
+	}
+}
+
+// TestCompareGCGate: alloc/event growth past the GC threshold fails even
+// when events/sec holds.
+func TestCompareGCGate(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "base")
+	head := filepath.Join(t.TempDir(), "head")
+	writeTel(t, base, map[string]float64{"designs": 10_000_000}, map[string]float64{"designs": 100})
+	writeTel(t, head, map[string]float64{"designs": 10_000_000}, map[string]float64{"designs": 120})
+
+	var out strings.Builder
+	if err := runCompare(&out, base, head, 0.02, 0.10, ""); err == nil {
+		t.Fatalf("20%% alloc/event growth passed the 10%% GC gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "GC-pressure gate") {
+		t.Errorf("failure not attributed to the GC gate:\n%s", out.String())
+	}
+}
+
+// TestCompareCSV: the -csv export carries one line per matched run.
+func TestCompareCSV(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "base")
+	head := filepath.Join(t.TempDir(), "head")
+	writeTel(t, base, map[string]float64{"a": 1e6, "b": 2e6}, nil)
+	writeTel(t, head, map[string]float64{"a": 1e6, "b": 2e6}, nil)
+	csv := filepath.Join(t.TempDir(), "out.csv")
+	var out strings.Builder
+	if err := runCompare(&out, base, head, 0.02, 0.10, csv); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "run,base_events_per_sec") {
+		t.Errorf("csv shape wrong:\n%s", data)
+	}
+}
+
+// TestBenchGate: the -bench mode must parse `go test -bench` output,
+// take best-of per benchmark, and gate on events/s.
+func TestBenchGate(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "seed.out")
+	headPath := filepath.Join(dir, "head.out")
+	baseOut := `goos: linux
+BenchmarkDesign1RoundTrip-8   3   12000000 ns/op   9900000 events/s   15.87 tick-to-trade-us
+BenchmarkDesign1RoundTrip-8   3   12100000 ns/op  10000000 events/s   15.87 tick-to-trade-us
+BenchmarkDesign3RoundTrip-8   3    9000000 ns/op   8000000 events/s
+PASS
+`
+	headSlow := strings.ReplaceAll(baseOut, "9900000 events/s", "9300000 events/s")
+	headSlow = strings.ReplaceAll(headSlow, "10000000 events/s", "9400000 events/s")
+	if err := os.WriteFile(basePath, []byte(baseOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(headPath, []byte(headSlow), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	err := runBench(&out, basePath, headPath, 0.02)
+	if err == nil {
+		t.Fatalf("6%% bench drop passed the 2%% gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION BenchmarkDesign1RoundTrip") ||
+		strings.Contains(out.String(), "REGRESSION BenchmarkDesign3RoundTrip") {
+		t.Errorf("wrong benchmark flagged:\n%s", out.String())
+	}
+
+	// Identical outputs pass, and best-of picks the max sample.
+	out.Reset()
+	if err := runBench(&out, basePath, basePath, 0.02); err != nil {
+		t.Fatalf("self-comparison failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "10000000") {
+		t.Errorf("best-of did not pick the 10000000 sample:\n%s", out.String())
+	}
+}
+
+// TestCheckManifestsAndBenchJSON: -check accepts a valid telemetry dir and
+// the repo's recorded BENCH_PR*.json files, and rejects corruption.
+func TestCheckManifestsAndBenchJSON(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "tel")
+	writeTel(t, dir, map[string]float64{"designs": 1e6}, nil)
+
+	benchRefs, err := filepath.Glob("../../BENCH_PR*.json")
+	if err != nil || len(benchRefs) == 0 {
+		t.Fatalf("no BENCH_PR*.json found at repo root: %v", err)
+	}
+	var out strings.Builder
+	if err := runCheck(&out, append([]string{dir}, benchRefs...)); err != nil {
+		t.Fatalf("valid inputs failed -check: %v\n%s", err, out.String())
+	}
+
+	// Corrupt manifest: schema mismatch must fail.
+	bad := filepath.Join(t.TempDir(), "bad.ndjson")
+	if err := os.WriteFile(bad, []byte(`{"record":"meta","schema":"tradenet.run.v9","experiment":"x","seed":1}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := runCheck(&out, []string{bad}); err == nil {
+		t.Fatalf("wrong-schema manifest passed -check:\n%s", out.String())
+	}
+
+	// Corrupt bench reference: no description.
+	badJSON := filepath.Join(t.TempDir(), "BENCH_PRX.json")
+	if err := os.WriteFile(badJSON, []byte(`{"knob_off":{"BenchmarkX":{"before":{"v":1}}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := runCheck(&out, []string{badJSON}); err == nil {
+		t.Fatalf("description-less bench json passed -check:\n%s", out.String())
+	}
+}
+
+// TestTrend: runs appear across revision columns with their rates.
+func TestTrend(t *testing.T) {
+	r1 := filepath.Join(t.TempDir(), "r1")
+	r2 := filepath.Join(t.TempDir(), "r2")
+	writeTel(t, r1, map[string]float64{"designs": 1e6}, nil)
+	writeTel(t, r2, map[string]float64{"designs": 2e6, "wan": 3e6}, nil)
+
+	csv := filepath.Join(t.TempDir(), "trend.csv")
+	var out strings.Builder
+	if err := runTrend(&out, []string{r1, r2}, csv); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "designs-seed1") || !strings.Contains(s, "wan-seed1") {
+		t.Errorf("trend missing runs:\n%s", s)
+	}
+	data, _ := os.ReadFile(csv)
+	if lines := strings.Split(strings.TrimSpace(string(data)), "\n"); len(lines) != 3 {
+		t.Errorf("trend csv shape wrong:\n%s", data)
+	}
+}

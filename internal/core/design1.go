@@ -45,6 +45,9 @@ type Design1 struct {
 	// WANFeed is the adaptive WAN redundancy mirror (nil unless
 	// Scenario.WANRedundancy).
 	WANFeed *WANFeed
+
+	// Tel is the telemetry plane (nil unless Scenario.Telemetry).
+	Tel *Telemetry
 }
 
 // hostIDs: the exchange uses 100+, normalizers 1000+, strategies 10000+,
@@ -122,6 +125,8 @@ func NewDesign1(sc Scenario, switchCfg device.CommoditySwitchConfig) *Design1 {
 	if sc.WANRedundancy {
 		d.WANFeed = NewWANFeed(d.Sched, d.Ex, DefaultWANFeedConfig())
 	}
+	d.Tel = newTelemetry(d.Sched, sc.Telemetry)
+	d.Tel.RegisterExchange(d.Ex)
 	return d
 }
 
@@ -199,20 +204,23 @@ func (d *Design1) MeasureRoundTrip(bursts int) RoundTrip {
 		SoftwareTime:  3 * d.Scenario.FnLatency,
 		SwitchLatency: 12 * d.LS.Config().Switch.Latency,
 	}
-	measure(d.Sched, d.Ex, d.Scenario, bursts, &rt)
+	measure(d.Sched, d.Ex, d.Scenario, bursts, &rt, d.Tel)
 	return rt
 }
 
 // measure runs the shared burst-publish / order-capture loop: after a
 // settle-in period (logons), it publishes `bursts` isolated message bursts
 // 2 ms apart and attributes each accepted order to the most recent burst.
-func measure(sched *sim.Scheduler, ex *exchange.Exchange, sc Scenario, bursts int, rt *RoundTrip) {
+// A non-nil telemetry plane is armed over the whole measurement span; nil
+// costs one compare inside Arm and the schedule is untouched.
+func measure(sched *sim.Scheduler, ex *exchange.Exchange, sc Scenario, bursts int, rt *RoundTrip, tel *Telemetry) {
 	var burstAt sim.Time
 	ex.OnOrderAccepted = func(_ *orderentry.Msg, at sim.Time) {
 		rt.Orders++
 		rt.Samples = append(rt.Samples, at.Sub(burstAt))
 	}
 	start := sim.Time(5 * sim.Millisecond) // let logons drain
+	tel.Arm(0, start.Add(sim.Duration(bursts)*2*sim.Millisecond))
 	for b := 0; b < bursts; b++ {
 		at := start.Add(sim.Duration(b) * 2 * sim.Millisecond)
 		sched.At(at, func() {

@@ -43,6 +43,9 @@ type Design2 struct {
 	// WANFeed is the adaptive WAN redundancy mirror (nil unless
 	// Scenario.WANRedundancy).
 	WANFeed *WANFeed
+
+	// Tel is the telemetry plane (nil unless Scenario.Telemetry).
+	Tel *Telemetry
 }
 
 // NewDesign2 builds the cloud plant with the given per-tenant path
@@ -107,6 +110,8 @@ func NewDesign2(sc Scenario, tenantLat []sim.Duration, equalize bool) *Design2 {
 	if sc.WANRedundancy {
 		d.WANFeed = NewWANFeed(d.Sched, d.Ex, DefaultWANFeedConfig())
 	}
+	d.Tel = newTelemetry(d.Sched, sc.Telemetry)
+	d.Tel.RegisterExchange(d.Ex)
 	return d
 }
 
@@ -120,7 +125,7 @@ func (d *Design2) MeasureRoundTrip(bursts int) RoundTrip {
 		SoftwareHops: 1,
 		SoftwareTime: d.Scenario.FnLatency,
 	}
-	measure(d.Sched, d.Ex, d.Scenario, bursts, &rt)
+	measure(d.Sched, d.Ex, d.Scenario, bursts, &rt, d.Tel)
 	return rt
 }
 

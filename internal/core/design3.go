@@ -41,6 +41,9 @@ type Design3 struct {
 	// WANFeed is the adaptive WAN redundancy mirror (nil unless
 	// Scenario.WANRedundancy).
 	WANFeed *WANFeed
+
+	// Tel is the telemetry plane (nil unless Scenario.Telemetry).
+	Tel *Telemetry
 }
 
 // NewDesign3 builds the four-network L1S plant. maxSubs caps the number of
@@ -153,6 +156,8 @@ func NewDesign3(sc Scenario, maxSubs int) *Design3 {
 	if sc.WANRedundancy {
 		d.WANFeed = NewWANFeed(d.Sched, d.Ex, DefaultWANFeedConfig())
 	}
+	d.Tel = newTelemetry(d.Sched, sc.Telemetry)
+	d.Tel.RegisterExchange(d.Ex)
 	return d
 }
 
@@ -197,7 +202,7 @@ func (d *Design3) MeasureRoundTrip(bursts int) RoundTrip {
 		SoftwareTime:  3 * d.Scenario.FnLatency,
 		SwitchLatency: 4*cfg.FanoutLatency + sim.Duration(merges)*cfg.MergeLatency,
 	}
-	measure(d.Sched, d.Ex, d.Scenario, bursts, &rt)
+	measure(d.Sched, d.Ex, d.Scenario, bursts, &rt, d.Tel)
 	return rt
 }
 

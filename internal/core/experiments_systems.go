@@ -9,6 +9,7 @@ import (
 	"tradenet/internal/colo"
 	"tradenet/internal/device"
 	"tradenet/internal/feed"
+	"tradenet/internal/manifest"
 	"tradenet/internal/mcast"
 	"tradenet/internal/metrics"
 	"tradenet/internal/netsim"
@@ -21,19 +22,30 @@ import (
 // DesignComparison is E5+E6(+E12): round trips through all three designs.
 type DesignComparison struct {
 	Rows []RoundTrip
+	// Artifacts are the per-design run manifests (empty unless the
+	// scenario arms Telemetry).
+	Artifacts []*manifest.Artifact
 }
 
 // RunDesignComparison measures the common scenario through Designs 1, 3,
 // and 2 (equalized cloud).
 func RunDesignComparison(sc Scenario, bursts int) DesignComparison {
 	var out DesignComparison
+	art := func(t *Telemetry, design string, sched *sim.Scheduler) {
+		if sc.Telemetry != nil {
+			out.Artifacts = append(out.Artifacts, t.Artifact("designs", design, "", sc, sched))
+		}
+	}
 	d1 := NewDesign1(sc, device.DefaultCommodityConfig())
 	out.Rows = append(out.Rows, d1.MeasureRoundTrip(bursts))
+	art(d1.Tel, "design1", d1.Sched)
 	d3 := NewDesign3(sc, 0)
 	out.Rows = append(out.Rows, d3.MeasureRoundTrip(bursts))
+	art(d3.Tel, "design3", d3.Sched)
 	lats := []sim.Duration{5 * sim.Microsecond, 20 * sim.Microsecond, 12 * sim.Microsecond}
 	d2 := NewDesign2(sc, lats, true)
 	out.Rows = append(out.Rows, d2.MeasureRoundTrip(bursts))
+	art(d2.Tel, "design2", d2.Sched)
 	return out
 }
 

@@ -6,6 +6,7 @@ import (
 	"tradenet/internal/device"
 	"tradenet/internal/exchange"
 	"tradenet/internal/fault"
+	"tradenet/internal/manifest"
 	"tradenet/internal/metrics"
 	"tradenet/internal/redundancy"
 	"tradenet/internal/sim"
@@ -104,22 +105,23 @@ type wanPlant struct {
 	sched *sim.Scheduler
 	ex    *exchange.Exchange
 	wf    *WANFeed
+	tel   *Telemetry
 }
 
 func wanPlantDesign1(sc Scenario) wanPlant {
 	d := NewDesign1(sc, device.DefaultCommodityConfig())
-	return wanPlant{name: "Design 1 (leaf-spine)", sched: d.Sched, ex: d.Ex, wf: d.WANFeed}
+	return wanPlant{name: "Design 1 (leaf-spine)", sched: d.Sched, ex: d.Ex, wf: d.WANFeed, tel: d.Tel}
 }
 
 func wanPlantDesign2(sc Scenario) wanPlant {
 	lats := []sim.Duration{5 * sim.Microsecond, 20 * sim.Microsecond, 12 * sim.Microsecond}
 	d := NewDesign2(sc, lats, true)
-	return wanPlant{name: "Design 2 (cloud)", sched: d.Sched, ex: d.Ex, wf: d.WANFeed}
+	return wanPlant{name: "Design 2 (cloud)", sched: d.Sched, ex: d.Ex, wf: d.WANFeed, tel: d.Tel}
 }
 
 func wanPlantDesign3(sc Scenario) wanPlant {
 	d := NewDesign3(sc, 0)
-	return wanPlant{name: "Design 3 (L1S)", sched: d.Sched, ex: d.Ex, wf: d.WANFeed}
+	return wanPlant{name: "Design 3 (L1S)", sched: d.Sched, ex: d.Ex, wf: d.WANFeed, tel: d.Tel}
 }
 
 // WANRedundancyRun is one (design, timeline, mode) cell.
@@ -152,6 +154,11 @@ type WANRedundancyRun struct {
 	DecisionLog string
 	FaultLog    string
 	Registry    string // wan.* metrics dump
+
+	// Artifact is the cell's run manifest (nil unless the scenario arms
+	// Telemetry): wan.* + scheduler series time-resolved across the rain
+	// windows, fault timeline and controller decisions as log records.
+	Artifact *manifest.Artifact
 }
 
 // GoodputPct is the timely fraction: in-order live delivery over published.
@@ -174,6 +181,10 @@ func (r WANRedundancyRun) OverheadPct() float64 {
 func runWANRedundancy(p wanPlant, sc Scenario, tl rainTimeline, mode wanrMode) WANRedundancyRun {
 	res := WANRedundancyRun{Design: p.name, Timeline: tl.name, Mode: mode.name}
 	sched, wf := p.sched, p.wf
+	if p.tel != nil {
+		wf.RegisterMetrics(p.tel.Reg)
+		p.tel.Arm(0, wanrEnd())
+	}
 	wf.MW.Config.RainLossProb = tl.lossProb
 	if mode.adaptive {
 		wf.Start()
@@ -262,6 +273,13 @@ func runWANRedundancy(p wanPlant, sc Scenario, tl rainTimeline, mode wanrMode) W
 	reg := metrics.NewRegistry()
 	wf.RegisterMetrics(reg)
 	res.Registry = reg.String()
+
+	if p.tel != nil {
+		art := p.tel.Artifact("wanredundancy", p.name, tl.name+" "+mode.name, sc, sched)
+		art.Faults = []manifest.LogRecord{{Name: "rain", Log: res.FaultLog}}
+		art.Decisions = []manifest.LogRecord{{Name: "controller", Log: res.DecisionLog}}
+		res.Artifact = art
+	}
 	return res
 }
 

@@ -59,6 +59,15 @@ type Scenario struct {
 	// pointer writes on the hot path.
 	WANRedundancy bool
 
+	// Telemetry opts the run into the virtual-time telemetry plane: every
+	// design builds a metrics registry (scheduler internals, exchange
+	// counters, experiment layers) plus a sampler that snapshots it on
+	// deterministic virtual-time ticks, and measurement runs emit
+	// manifest.Artifact run manifests. Nil (the default) builds none of it
+	// — the plant and its event schedule are byte-identical to the
+	// knob-less build.
+	Telemetry *TelemetrySpec
+
 	// Seed drives all randomness.
 	Seed int64
 }

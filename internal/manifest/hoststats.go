@@ -1,0 +1,61 @@
+package manifest
+
+import (
+	"runtime"
+	"time"
+)
+
+// HostStats is the manifest's one deliberately nondeterministic block:
+// wall-clock duration and Go runtime GC/alloc telemetry for the run. It
+// is sampled outside the deterministic kernel (the simulation never reads
+// it back) and consumers treat it accordingly — byte-identity checks strip
+// it, while the perf observatory reads exactly this block to compute
+// events/sec and GC pressure across revisions.
+type HostStats struct {
+	Record string `json:"record"`
+	// WallNs is the host wall-clock time the run took.
+	WallNs int64 `json:"wall_ns"`
+	// AllocBytes / Mallocs are the deltas in cumulative heap allocation
+	// over the run (runtime.MemStats TotalAlloc / Mallocs).
+	AllocBytes uint64 `json:"alloc_bytes"`
+	Mallocs    uint64 `json:"mallocs"`
+	// NumGC / PauseNs are the GC cycles and total stop-the-world pause
+	// accumulated during the run.
+	NumGC   uint32 `json:"num_gc"`
+	PauseNs uint64 `json:"pause_ns"`
+	// HeapAllocBytes is the live heap at capture time.
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+}
+
+// HostCollector brackets a run with wall-clock and MemStats snapshots.
+type HostCollector struct {
+	start time.Time
+	ms    runtime.MemStats
+}
+
+// BeginHostStats snapshots the clock and the runtime's cumulative counters
+// before a run.
+//
+//simlint:allow wallclock: the host-stats block is wall-clock telemetry by design — it is captured outside the deterministic kernel, never feeds back into simulated time, and every consumer (tests, CI byte-identity checks) strips or isolates it
+func BeginHostStats() *HostCollector {
+	c := &HostCollector{start: time.Now()}
+	runtime.ReadMemStats(&c.ms)
+	return c
+}
+
+// End captures the post-run deltas.
+//
+//simlint:allow wallclock: closes the wall-clock bracket opened by BeginHostStats; same nondeterministic-by-contract block
+func (c *HostCollector) End() *HostStats {
+	wall := time.Since(c.start)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &HostStats{
+		WallNs:         wall.Nanoseconds(),
+		AllocBytes:     ms.TotalAlloc - c.ms.TotalAlloc,
+		Mallocs:        ms.Mallocs - c.ms.Mallocs,
+		NumGC:          ms.NumGC - c.ms.NumGC,
+		PauseNs:        ms.PauseTotalNs - c.ms.PauseTotalNs,
+		HeapAllocBytes: ms.HeapAlloc,
+	}
+}

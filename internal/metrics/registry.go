@@ -22,6 +22,37 @@ import (
 type Registry struct {
 	ints  map[string]func() int64
 	hists map[string]*Histogram
+	kinds map[string]Kind
+}
+
+// Kind classifies a registered metric for consumers that walk the registry
+// structurally (the Sampler, manifest capture, cmd/tradestat) instead of
+// re-parsing Dump's text output.
+type Kind uint8
+
+const (
+	// KindInt is a read-at-dump-time integer: counters, *uint64 stat
+	// fields, arbitrary derived reads. Deltas between samples are
+	// meaningful for monotonic sources.
+	KindInt Kind = iota
+	// KindGauge is a settable level (queue depth, open orders): the
+	// current value is the signal, deltas may go negative.
+	KindGauge
+	// KindHistogram is a distribution summarized by quantiles.
+	KindHistogram
+)
+
+// String names the kind as it appears in manifests.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
 // NewRegistry returns an empty registry.
@@ -29,6 +60,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		ints:  make(map[string]func() int64),
 		hists: make(map[string]*Histogram),
+		kinds: make(map[string]Kind),
 	}
 }
 
@@ -40,6 +72,7 @@ func (r *Registry) RegisterInt(name string, read func() int64) {
 	}
 	r.checkName(name)
 	r.ints[name] = read
+	r.kinds[name] = KindInt
 }
 
 // RegisterUint binds name to a *uint64 stat field — the dominant shape of
@@ -58,6 +91,17 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// Gauge creates, registers, and returns a settable gauge handle under name.
+// Unlike RegisterInt's read-function shape, a gauge is written by its owner
+// (Set/Add) and read by the registry — the handle for levels that rise and
+// fall (queue depths, open orders, pending replays).
+func (r *Registry) Gauge(name string) *Gauge {
+	g := &Gauge{}
+	r.RegisterInt(name, g.Value)
+	r.kinds[name] = KindGauge
+	return g
+}
+
 // RegisterHistogram binds name to a histogram, summarized at dump time.
 func (r *Registry) RegisterHistogram(name string, h *Histogram) {
 	if h == nil {
@@ -65,6 +109,7 @@ func (r *Registry) RegisterHistogram(name string, h *Histogram) {
 	}
 	r.checkName(name)
 	r.hists[name] = h
+	r.kinds[name] = KindHistogram
 }
 
 // Histogram creates, registers, and returns a fresh histogram under name.
@@ -106,6 +151,27 @@ func (r *Registry) Int(name string) (int64, bool) {
 		return 0, false
 	}
 	return read(), true
+}
+
+// Hist returns the histogram registered under name (false if absent).
+func (r *Registry) Hist(name string) (*Histogram, bool) {
+	h, ok := r.hists[name]
+	return h, ok
+}
+
+// Kind returns the kind registered under name (false if absent).
+func (r *Registry) Kind(name string) (Kind, bool) {
+	k, ok := r.kinds[name]
+	return k, ok
+}
+
+// Each walks every registered metric in sorted name order — the structural
+// complement to Dump, so samplers and exporters never re-parse text. The
+// walk order is deterministic and matches Dump's line order exactly.
+func (r *Registry) Each(fn func(name string, kind Kind)) {
+	for _, name := range r.Names() {
+		fn(name, r.kinds[name])
+	}
 }
 
 // Dump writes every metric in sorted name order, one per line: integers as

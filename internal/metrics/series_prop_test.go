@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"tradenet/internal/sim"
+)
+
+// Property tests for WindowSeries geometry and merging. The series backs
+// the Figure 2 aggregations and now the telemetry plane's CSV exports, so
+// its boundary arithmetic must be exact: an off-by-one at a window edge
+// silently moves events between the paper's buckets.
+
+// TestWindowBoundariesExact pins the half-open [start, end) contract at
+// every edge: an event at WindowStart(i) lands in i, an event one tick
+// before lands in i-1, and an event at the final WindowEnd is dropped.
+func TestWindowBoundariesExact(t *testing.T) {
+	start := sim.Time(3 * sim.Microsecond)
+	w := NewWindowSeries(start, 100*sim.Nanosecond, 7)
+
+	s0, e0 := w.Window(0)
+	if s0 != start || e0 != start.Add(100*sim.Nanosecond) {
+		t.Fatalf("Window(0) = [%v,%v)", s0, e0)
+	}
+	lo, hi := w.Bounds()
+	if lo != start || hi != w.WindowEnd(6) {
+		t.Fatalf("Bounds() = [%v,%v)", lo, hi)
+	}
+
+	for i := 0; i < w.Len(); i++ {
+		if got := w.Index(w.WindowStart(i)); got != i {
+			t.Errorf("Index(WindowStart(%d)) = %d", i, got)
+		}
+		if got := w.Index(w.WindowEnd(i) - 1); got != i {
+			t.Errorf("Index(WindowEnd(%d)-1) = %d", i, got)
+		}
+	}
+	if got := w.Index(hi); got != -1 {
+		t.Errorf("Index(end) = %d, want -1 (dropped)", got)
+	}
+	if got := w.Index(start - 1); got != -1 {
+		t.Errorf("Index(start-1) = %d, want -1", got)
+	}
+}
+
+// TestWindowSeriesProperty fuzzes random event streams and checks the
+// invariants that make the iterator trustworthy: every recorded event is
+// either in exactly the window whose [start, end) contains it or counted
+// as dropped (rollover past capacity), totals reconcile exactly, and Each
+// walks the same geometry Index computes.
+func TestWindowSeriesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		start := sim.Time(rng.Int63n(1000))
+		width := sim.Duration(1 + rng.Int63n(500))
+		n := 1 + rng.Intn(20)
+		w := NewWindowSeries(start, width, n)
+		_, end := w.Bounds()
+
+		ref := make([]int64, n)
+		var refDropped, recorded int64
+		for e := 0; e < 300; e++ {
+			// Bias events around the valid range so both in-range and
+			// rollover-past-capacity paths are exercised.
+			t0 := start.Add(sim.Duration(rng.Int63n(int64(end.Sub(start))*3/2)) - width)
+			cnt := int64(1 + rng.Int63n(3))
+			w.RecordN(t0, cnt)
+			recorded += cnt
+			if t0 < start || t0 >= end {
+				refDropped += cnt
+			} else {
+				ref[int(t0.Sub(start)/width)] += cnt
+			}
+		}
+
+		if w.Dropped() != refDropped {
+			t.Fatalf("trial %d: dropped %d, want %d", trial, w.Dropped(), refDropped)
+		}
+		if w.Total()+w.Dropped() != recorded {
+			t.Fatalf("trial %d: total %d + dropped %d != recorded %d", trial, w.Total(), w.Dropped(), recorded)
+		}
+		walked := 0
+		w.Each(func(i int, s, e sim.Time, count int64) {
+			if count != ref[i] {
+				t.Fatalf("trial %d window %d: count %d, want %d", trial, i, count, ref[i])
+			}
+			if s != w.WindowStart(i) || e != w.WindowEnd(i) || e.Sub(s) != width {
+				t.Fatalf("trial %d window %d: bad bounds [%v,%v)", trial, i, s, e)
+			}
+			walked++
+		})
+		if walked != n {
+			t.Fatalf("trial %d: Each walked %d windows, want %d", trial, walked, n)
+		}
+	}
+}
+
+// TestWindowSeriesMergeProperty: recording one event stream split across k
+// series and merging must equal recording the whole stream into one — per
+// window and for the dropped count. Geometry mismatches must panic.
+func TestWindowSeriesMergeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		start := sim.Time(rng.Int63n(100))
+		width := sim.Duration(1 + rng.Int63n(50))
+		n := 1 + rng.Intn(10)
+		whole := NewWindowSeries(start, width, n)
+		parts := []*WindowSeries{
+			NewWindowSeries(start, width, n),
+			NewWindowSeries(start, width, n),
+			NewWindowSeries(start, width, n),
+		}
+		_, end := whole.Bounds()
+		for e := 0; e < 200; e++ {
+			t0 := start.Add(sim.Duration(rng.Int63n(int64(end.Sub(start))*2)) - width/2)
+			whole.Record(t0)
+			parts[rng.Intn(len(parts))].Record(t0)
+		}
+		merged := parts[0]
+		merged.Merge(parts[1])
+		merged.Merge(parts[2])
+		if merged.Dropped() != whole.Dropped() {
+			t.Fatalf("trial %d: merged dropped %d, want %d", trial, merged.Dropped(), whole.Dropped())
+		}
+		for i := 0; i < n; i++ {
+			if merged.Count(i) != whole.Count(i) {
+				t.Fatalf("trial %d window %d: merged %d, want %d", trial, i, merged.Count(i), whole.Count(i))
+			}
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merge of mismatched geometry did not panic")
+		}
+	}()
+	a := NewWindowSeries(0, sim.Microsecond, 4)
+	b := NewWindowSeries(0, sim.Microsecond, 5)
+	a.Merge(b)
+}
