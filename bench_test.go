@@ -404,3 +404,25 @@ func BenchmarkWANRedundancy(b *testing.B) {
 	b.ReportMetric(m[3].GoodputPct(), "adaptive-goodput-pct")
 	b.ReportMetric(float64(m[3].Switches), "policy-switches")
 }
+
+// BenchmarkExchangeFailover (E23) kills the primary matching engine
+// mid-burst and reports the high-availability headline numbers: the feed
+// blackout window, the pick-off exposure of orders resting dark through
+// it, time to first trade on the promoted standby, and whether the
+// zero-loss invariants (books and execution counts equal to a
+// never-failed control) held.
+func BenchmarkExchangeFailover(b *testing.B) {
+	var r core.ExchangeFailoverReport
+	for i := 0; i < b.N; i++ {
+		r = core.RunExchangeFailover(core.SmallScenario(), core.Seeds(1, 1))
+	}
+	d1 := r.Runs[0].Designs[0]
+	b.ReportMetric(d1.Blackout.Microseconds(), "d1-blackout-µs")
+	b.ReportMetric(d1.PickOffOrdMs, "d1-pickoff-ord-ms")
+	b.ReportMetric(d1.FirstTradeIn.Microseconds(), "d1-first-trade-µs")
+	ok := 0.0
+	if r.AllInvariantsOK() {
+		ok = 1.0
+	}
+	b.ReportMetric(ok, "invariants-ok")
+}

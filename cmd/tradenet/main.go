@@ -39,6 +39,7 @@
 //	attribution E20 — flight-recorder latency attribution across designs
 //	oefailover  E21 — order-entry session kill: liveness, cancel-on-disconnect, replay
 //	wanredundancy E22 — adaptive WAN redundancy: recovery policy × rain fade × design
+//	exchangefailover E23 — primary venue crash: journal replication, promotion, zero-loss failover
 //
 // Pass -csv <dir> to also export the Figure 2 data series as CSV. Pass
 // -trace <file> with -experiment attribution to export the recorded spans
@@ -201,6 +202,19 @@ var experiments = []experimentSpec{
 				if m.Artifact != nil {
 					arts = append(arts, m.Artifact)
 				}
+			}
+		}
+		return arts
+	}},
+	{"exchangefailover", func(c runCfg) []*manifest.Artifact {
+		r := core.RunExchangeFailover(c.sc, core.Seeds(c.seed, c.reps))
+		fmt.Println(r)
+		var arts []*manifest.Artifact
+		for _, run := range r.Runs {
+			for _, d := range run.Designs {
+				arts = append(arts, metaArtifact("exchangefailover", d.Design, "", run.Seed,
+					[]manifest.LogRecord{{Name: "faults", Log: d.FaultLog}},
+					[]manifest.LogRecord{{Name: "promotion", Log: d.DecisionLog}}))
 			}
 		}
 		return arts

@@ -22,15 +22,16 @@ import (
 // a simulation, and core (whose RunParallel is the one sanctioned
 // harness).
 var scoped = map[string]bool{
-	analysis.ModulePath + "/internal/sim":        true,
-	analysis.ModulePath + "/internal/netsim":     true,
-	analysis.ModulePath + "/internal/exchange":   true,
-	analysis.ModulePath + "/internal/firm":       true,
-	analysis.ModulePath + "/internal/feed":       true,
-	analysis.ModulePath + "/internal/orderentry": true,
-	analysis.ModulePath + "/internal/mcast":      true,
-	analysis.ModulePath + "/internal/topo":       true,
-	analysis.ModulePath + "/internal/core":       true,
+	analysis.ModulePath + "/internal/sim":         true,
+	analysis.ModulePath + "/internal/netsim":      true,
+	analysis.ModulePath + "/internal/exchange":    true,
+	analysis.ModulePath + "/internal/firm":        true,
+	analysis.ModulePath + "/internal/feed":        true,
+	analysis.ModulePath + "/internal/orderentry":  true,
+	analysis.ModulePath + "/internal/mcast":       true,
+	analysis.ModulePath + "/internal/topo":        true,
+	analysis.ModulePath + "/internal/core":        true,
+	analysis.ModulePath + "/internal/replication": true,
 }
 
 // Analyzer implements the check.

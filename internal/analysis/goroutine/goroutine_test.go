@@ -15,6 +15,14 @@ func TestGoroutine(t *testing.T) {
 		"tradenet/internal/netsim", nil, goroutine.Analyzer)
 }
 
+// TestGoroutineReplication proves internal/replication is bound by the
+// single-goroutine contract from day one: journal shipping, channel
+// handoff, and promotion selects all fire under its import path.
+func TestGoroutineReplication(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "goroutine_replication"),
+		"tradenet/internal/replication", nil, goroutine.Analyzer)
+}
+
 // TestGoroutineExempt checks that the same constructs are silent under an
 // out-of-scope path: harness packages may use real concurrency.
 func TestGoroutineExempt(t *testing.T) {

@@ -12,3 +12,11 @@ func TestSharedstate(t *testing.T) {
 	analysistest.Run(t, filepath.Join("..", "testdata", "sharedstate"),
 		"tradenet/internal/fixture", []string{"sync"}, sharedstate.Analyzer)
 }
+
+// TestSharedstateReplication proves internal/replication honors the
+// no-shared-mutable-state contract: package-level journal sequence
+// counters and promotion registries fire under its import path.
+func TestSharedstateReplication(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata", "sharedstate_replication"),
+		"tradenet/internal/replication", nil, sharedstate.Analyzer)
+}

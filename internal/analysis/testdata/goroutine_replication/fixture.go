@@ -1,0 +1,54 @@
+// Package replication exercises the goroutine analyzer under the
+// internal/replication import path: the journal/follower machinery runs
+// inside simulation events, so shipping records on a background goroutine,
+// handing them over channels, or selecting on a promotion signal would make
+// apply order scheduler-dependent and break the primary/backup lockstep the
+// failover invariants rest on. The sequential shapes the real package uses
+// — callback taps and replay loops — stay silent.
+package replication
+
+// record is a journal record in flight.
+type record struct {
+	seq  uint64
+	data []byte
+}
+
+// shipAsync streams journal records off the event goroutine.
+func shipAsync(recs []record, send func(record)) {
+	go func() { // want `go statement in a simulation package`
+		for _, r := range recs {
+			send(r)
+		}
+	}()
+}
+
+// handoff moves records between journal and follower over a channel.
+func handoff(ch chan record, r record) record {
+	ch <- r             // want `channel send in a simulation package`
+	applied := <-ch     // want `channel receive in a simulation package`
+	for a := range ch { // want `range over a channel in a simulation package`
+		applied.seq = a.seq
+	}
+	return applied
+}
+
+// awaitPromotion races the journal stream against the watchdog.
+func awaitPromotion(journal chan record, promote chan struct{}) bool {
+	select { // want `multi-case select in a simulation package`
+	case <-journal: // want `channel receive in a simulation package`
+		return false
+	case <-promote: // want `channel receive in a simulation package`
+		return true
+	}
+}
+
+// replay is the sanctioned shape: a synchronous loop applying the journal
+// tail in sequence order on the one event goroutine.
+func replay(recs []record, apply func(record)) uint64 {
+	var last uint64
+	for _, r := range recs {
+		apply(r)
+		last = r.seq
+	}
+	return last
+}

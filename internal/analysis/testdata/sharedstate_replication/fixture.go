@@ -1,0 +1,41 @@
+// Package replication exercises the sharedstate analyzer under the
+// internal/replication import path: a journal sequence counter or promotion
+// registry held in a package-level var would be shared by every run
+// RunParallel dispatches, corrupting the replicated state machines'
+// lockstep. All replication state must live on per-run structs; the
+// fixture's flagged shapes are exactly the ones the real package must never
+// grow.
+package replication
+
+// journalSeq would be a process-wide sequence allocator: two parallel runs
+// interleaving increments destroys per-run determinism.
+var journalSeq uint64
+
+// promoted would be a process-wide promotion registry.
+var promoted = map[string]bool{}
+
+// epoch is read-only configuration: reads of it must not fire.
+var epoch = uint64(1)
+
+// RunFailover is the taint root, as core.RunExchangeFailover is for the
+// real package.
+func RunFailover(venue string) uint64 {
+	journalSeq++           // want `write to package-level var replication.journalSeq`
+	promoted[venue] = true // want `write to package-level var replication.promoted`
+	p := &journalSeq       // want `address of package-level var replication.journalSeq`
+	appendRecord(3)
+	return epoch + *p // read of epoch: not flagged
+}
+
+// appendRecord is reachable from RunFailover, so its write fires too.
+func appendRecord(n uint64) {
+	journalSeq += n // want `write to package-level var replication.journalSeq`
+}
+
+// perRun is the sanctioned shape: sequence state on a per-run struct.
+type perRun struct{ seq uint64 }
+
+func (s *perRun) next() uint64 {
+	s.seq++
+	return s.seq
+}

@@ -46,6 +46,11 @@ type Design1 struct {
 	// Scenario.WANRedundancy).
 	WANFeed *WANFeed
 
+	// HA is the exchange high-availability pair (nil unless
+	// Scenario.ExchangeHA); HA.Backup is the dark standby on the exchange
+	// leaf.
+	HA *HACluster
+
 	// Tel is the telemetry plane (nil unless Scenario.Telemetry).
 	Tel *Telemetry
 }
@@ -83,6 +88,21 @@ func NewDesign1(sc Scenario, switchCfg device.CommoditySwitchConfig) *Design1 {
 	})
 	d.LS.Attach(0, d.Ex.MDNIC())
 	d.LS.Attach(0, d.Ex.OENIC())
+
+	if sc.ExchangeHA {
+		// The standby lives on the same exchange leaf (an HA pair shares the
+		// facility; the journal rides a dedicated cross-connect, not the
+		// fabric). Its NICs idle until promotion.
+		bak := exchange.New(d.Sched, d.U, d.RawMap, exchange.Config{
+			ID: 1, Name: "EXCH-B", Variant: feed.ExchangeB, MatchLatency: 0, HostID: idExchangeBak,
+		})
+		d.LS.Attach(0, bak.MDNIC())
+		d.LS.Attach(0, bak.OENIC())
+		if sc.OEResilience {
+			bak.EnableResilience(oeExchangeResilience())
+		}
+		d.HA = NewHACluster(d.Sched, d.Ex, bak)
+	}
 
 	// Normalizers on rack 1 (leaf index 1).
 	for i := 0; i < sc.Normalizers; i++ {
@@ -127,6 +147,7 @@ func NewDesign1(sc Scenario, switchCfg device.CommoditySwitchConfig) *Design1 {
 	}
 	d.Tel = newTelemetry(d.Sched, sc.Telemetry)
 	d.Tel.RegisterExchange(d.Ex)
+	d.Tel.RegisterHA(d.HA)
 	return d
 }
 
@@ -156,7 +177,11 @@ func (d *Design1) wireSessions() {
 		d.ExSessions = append(d.ExSessions, sess)
 		g.ConnectExchange(uint16(41000+i), d.Ex.OENIC().Addr(exPort))
 		if d.Scenario.OEResilience {
-			hardenGateway(g, d.Ex, sess, addr)
+			if d.HA != nil {
+				hardenGatewayHA(g, d.HA, i, addr)
+			} else {
+				hardenGateway(g, d.Ex, sess, addr)
+			}
 		}
 	}
 	for i, s := range d.Strats {

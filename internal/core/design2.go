@@ -44,6 +44,11 @@ type Design2 struct {
 	// Scenario.WANRedundancy).
 	WANFeed *WANFeed
 
+	// HA is the exchange high-availability pair (nil unless
+	// Scenario.ExchangeHA). Its OnPromote hook swaps both equalizers'
+	// standby ports so tenant traffic re-steers to the promoted venue.
+	HA *HACluster
+
 	// Tel is the telemetry plane (nil unless Scenario.Telemetry).
 	Tel *Telemetry
 }
@@ -72,6 +77,24 @@ func NewDesign2(sc Scenario, tenantLat []sim.Duration, equalize bool) *Design2 {
 
 	if sc.OEResilience {
 		d.Ex.EnableResilience(oeExchangeResilience())
+	}
+	if sc.ExchangeHA {
+		// The standby hangs off provisioned-but-inactive equalizer ports;
+		// promotion swaps them into the exchange slot so tenant unicasts and
+		// feed multicasts re-steer without the tenants re-addressing.
+		bak := exchange.New(d.Sched, d.U, d.OutMap, exchange.Config{
+			ID: 1, Name: "CLOUD-EXCH-B", Variant: feed.Internal, MatchLatency: 0, HostID: idExchangeBak,
+		})
+		netsim.Connect(bak.MDNIC().Port, d.EqMD.AddStandbyPort(), units.Rate10G, 0)
+		netsim.Connect(bak.OENIC().Port, d.EqOE.AddStandbyPort(), units.Rate10G, 0)
+		if sc.OEResilience {
+			bak.EnableResilience(oeExchangeResilience())
+		}
+		d.HA = NewHACluster(d.Sched, d.Ex, bak)
+		d.HA.OnPromote = func() {
+			d.EqMD.PromoteStandby()
+			d.EqOE.PromoteStandby()
+		}
 	}
 	for i := 0; i < len(tenantLat); i++ {
 		// Every tenant takes the full feed: fairness is only observable on
@@ -103,7 +126,11 @@ func NewDesign2(sc Scenario, tenantLat []sim.Duration, equalize bool) *Design2 {
 		d.ExSessions = append(d.ExSessions, sess)
 		s.ConnectGateway(uint16(42000+i), d.Ex.OENIC().Addr(exPort))
 		if sc.OEResilience {
-			hardenTenant(s, d.Ex, sess, addr)
+			if d.HA != nil {
+				hardenTenantHA(s, d.HA, i, addr)
+			} else {
+				hardenTenant(s, d.Ex, sess, addr)
+			}
 		}
 		d.Strats = append(d.Strats, s)
 	}
@@ -112,6 +139,7 @@ func NewDesign2(sc Scenario, tenantLat []sim.Duration, equalize bool) *Design2 {
 	}
 	d.Tel = newTelemetry(d.Sched, sc.Telemetry)
 	d.Tel.RegisterExchange(d.Ex)
+	d.Tel.RegisterHA(d.HA)
 	return d
 }
 

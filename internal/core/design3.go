@@ -42,6 +42,11 @@ type Design3 struct {
 	// Scenario.WANRedundancy).
 	WANFeed *WANFeed
 
+	// HA is the exchange high-availability pair (nil unless
+	// Scenario.ExchangeHA). The standby's NICs join networks 1 and 4 as
+	// extra circuit endpoints; until promotion they transmit nothing.
+	HA *HACluster
+
 	// Tel is the telemetry plane (nil unless Scenario.Telemetry).
 	Tel *Telemetry
 }
@@ -152,12 +157,36 @@ func NewDesign3(sc Scenario, maxSubs int) *Design3 {
 	}
 	d.Fabric.Deliver(d.Fabric.GwToEx, exOE, gwExPorts...)
 
+	if sc.ExchangeHA {
+		// The standby joins the feed and order networks as a second set of
+		// circuit endpoints. Its MD source shares the normalizers' sink NICs
+		// (which therefore become merge outputs — the §4.3 contention cost of
+		// a second source), and each gateway's order circuit also reaches the
+		// standby's OE NIC, which filters by MAC until clients re-home to it.
+		bak := exchange.New(d.Sched, d.U, d.RawMap, exchange.Config{
+			ID: 1, Name: "EXCH-B", Variant: feed.ExchangeB, MatchLatency: 0, HostID: idExchangeBak,
+		})
+		bakIn := d.Fabric.AttachSource(d.Fabric.ExToNorm, bak.MDNIC())
+		d.Fabric.Deliver(d.Fabric.ExToNorm, bakIn, normOuts...)
+		bakOE := d.Fabric.AttachSink(d.Fabric.GwToEx, bak.OENIC())
+		for _, in := range gwExPorts {
+			prev := d.Fabric.Circuits(d.Fabric.GwToEx)[in]
+			d.Fabric.Deliver(d.Fabric.GwToEx, in, append(prev, bakOE)...)
+		}
+		d.Fabric.Deliver(d.Fabric.GwToEx, bakOE, gwExPorts...)
+		if sc.OEResilience {
+			bak.EnableResilience(oeExchangeResilience())
+		}
+		d.HA = NewHACluster(d.Sched, d.Ex, bak)
+	}
+
 	d.wireSessions()
 	if sc.WANRedundancy {
 		d.WANFeed = NewWANFeed(d.Sched, d.Ex, DefaultWANFeedConfig())
 	}
 	d.Tel = newTelemetry(d.Sched, sc.Telemetry)
 	d.Tel.RegisterExchange(d.Ex)
+	d.Tel.RegisterHA(d.HA)
 	return d
 }
 
@@ -171,7 +200,11 @@ func (d *Design3) wireSessions() {
 		d.ExSessions = append(d.ExSessions, sess)
 		g.ConnectExchange(uint16(41000+i), d.Ex.OENIC().Addr(exPort))
 		if d.Scenario.OEResilience {
-			hardenGateway(g, d.Ex, sess, addr)
+			if d.HA != nil {
+				hardenGatewayHA(g, d.HA, i, addr)
+			} else {
+				hardenGateway(g, d.Ex, sess, addr)
+			}
 		}
 	}
 	for i, s := range d.Strats {

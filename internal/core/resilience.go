@@ -98,6 +98,24 @@ func hardenGateway(g *firm.Gateway, ex *exchange.Exchange, sess *orderentry.Exch
 	})
 }
 
+// hardenGatewayHA mirrors hardenGateway with the redial routed through the
+// HA cluster: the replacement endpoint is provisioned by whichever exchange
+// is live at redial time, addressed by the session-table index both sides
+// of the replication pair share — after a failover the same closure lands
+// the gateway on the promoted standby's twin session.
+func hardenGatewayHA(g *firm.Gateway, ha *HACluster, idx int, clientAddr pkt.UDPAddr) {
+	g.HardenExchangeSession(firm.GatewayResilience{
+		Liveness:       oeLiveness(),
+		Retry:          oeRetry(),
+		ReconnectDelay: oeReconnectDelay,
+		Reconnect: func() pkt.UDPAddr {
+			return ha.Reaccept(idx, clientAddr)
+		},
+		StreamMaxRTO:    oeStreamMaxRTO,
+		StreamDeadAfter: oeStreamDeadAfter,
+	})
+}
+
 // hardenStrategyBehindGateway arms only the market-exit behavior: the
 // gateway owns the exchange session, so the strategy's job is to stop
 // quoting when the gateway reports the path down (RejectSessionDown /
@@ -118,6 +136,22 @@ func hardenTenant(s *firm.Strategy, ex *exchange.Exchange, sess *orderentry.Exch
 		ReconnectDelay: oeReconnectDelay,
 		Reconnect: func() pkt.UDPAddr {
 			return ex.OENIC().Addr(ex.ReacceptSession(sess, clientAddr))
+		},
+		RequoteDelay:    oeRequoteDelay,
+		StreamMaxRTO:    oeStreamMaxRTO,
+		StreamDeadAfter: oeStreamDeadAfter,
+	})
+}
+
+// hardenTenantHA is hardenTenant with the redial routed through the HA
+// cluster (see hardenGatewayHA).
+func hardenTenantHA(s *firm.Strategy, ha *HACluster, idx int, clientAddr pkt.UDPAddr) {
+	s.EnableResilience(firm.StrategyResilience{
+		Liveness:       oeLiveness(),
+		Retry:          oeRetry(),
+		ReconnectDelay: oeReconnectDelay,
+		Reconnect: func() pkt.UDPAddr {
+			return ha.Reaccept(idx, clientAddr)
 		},
 		RequoteDelay:    oeRequoteDelay,
 		StreamMaxRTO:    oeStreamMaxRTO,

@@ -59,6 +59,16 @@ type Scenario struct {
 	// pointer writes on the hot path.
 	WANRedundancy bool
 
+	// ExchangeHA arms the exchange high-availability pair: a dark standby
+	// exchange mirrors the primary through a sequence-numbered state
+	// journal carried on a dedicated replication link, detects primary
+	// death by journal silence, and promotes itself — adopting order-entry
+	// transcripts and feed numbering so re-homed clients resync by replay
+	// and the feed resumes without a sequence discontinuity. Off (the
+	// default) builds no standby and the plant is byte-identical to the
+	// knob-less build.
+	ExchangeHA bool
+
 	// Telemetry opts the run into the virtual-time telemetry plane: every
 	// design builds a metrics registry (scheduler internals, exchange
 	// counters, experiment layers) plus a sampler that snapshots it on

@@ -57,6 +57,14 @@ func (t *Telemetry) RegisterExchange(ex *exchange.Exchange) {
 	t.Reg.RegisterUint("exchange.sessions_dropped", &ex.SessionsDropped)
 }
 
+// RegisterHA adds the HA cluster's ha.* counters. Nil-safe on both sides.
+func (t *Telemetry) RegisterHA(ha *HACluster) {
+	if t == nil || ha == nil {
+		return
+	}
+	ha.RegisterMetrics(t.Reg)
+}
+
 // Arm schedules sampling ticks over [from, until]. Nil-safe no-op.
 func (t *Telemetry) Arm(from, until sim.Time) {
 	if t == nil {
@@ -78,6 +86,7 @@ func scenarioInfo(sc Scenario) *manifest.ScenarioInfo {
 		PullOnGap:          sc.PullOnGap,
 		OEResilience:       sc.OEResilience,
 		WANRedundancy:      sc.WANRedundancy,
+		ExchangeHA:         sc.ExchangeHA,
 	}
 }
 

@@ -38,6 +38,10 @@ type CloudEqualizer struct {
 	sched *sim.Scheduler
 	cfg   CloudEqualizerConfig
 	ports []*netsim.Port
+	// standby is the provisioned-but-inactive second exchange port (nil
+	// unless AddStandbyPort was called); PromoteStandby swaps it into the
+	// exchange slot.
+	standby *netsim.Port
 	// pathLat[i] is tenant port i's intrinsic path latency (index 0 unused).
 	pathLat []sim.Duration
 	maxLat  sim.Duration
@@ -65,6 +69,28 @@ func NewCloudEqualizer(sched *sim.Scheduler, name string, tenantLat []sim.Durati
 
 // ExchangePort returns the port facing the exchange.
 func (c *CloudEqualizer) ExchangePort() *netsim.Port { return c.ports[0] }
+
+// AddStandbyPort provisions a second exchange-side port for a hot-standby
+// venue. Until PromoteStandby the port is inert: frames arriving on it are
+// released (a dark standby transmits nothing anyway) and no tenant traffic
+// is steered to it.
+func (c *CloudEqualizer) AddStandbyPort() *netsim.Port {
+	p := netsim.NewPort(c.sched, c, fmt.Sprintf("%s/standby", c.Name))
+	p.CutThrough = true
+	c.standby = p
+	return p
+}
+
+// PromoteStandby swaps the standby port into the exchange slot: tenant
+// ingress unicasts to the promoted venue from now on, and its publishes
+// multicast to every tenant. The old exchange port becomes the (dead)
+// standby. No-op without a provisioned standby.
+func (c *CloudEqualizer) PromoteStandby() {
+	if c.standby == nil {
+		return
+	}
+	c.ports[0], c.standby = c.standby, c.ports[0]
+}
 
 // TenantPort returns tenant i's port (1-based).
 func (c *CloudEqualizer) TenantPort(i int) *netsim.Port { return c.ports[i] }

@@ -14,6 +14,7 @@ import (
 	"tradenet/internal/netsim"
 	"tradenet/internal/orderentry"
 	"tradenet/internal/pkt"
+	"tradenet/internal/replication"
 	"tradenet/internal/sim"
 	"tradenet/internal/trace"
 )
@@ -72,6 +73,28 @@ type Exchange struct {
 	//simlint:allow ptrorder: lookup-only session→link table — never iterated, sorted, or rendered, so the pointer key cannot order any output
 	links map[*orderentry.ExchangeSession]*oeLink
 
+	// High-availability state (ha.go). sessList indexes sessions in accept
+	// order — the session numbering both sides of a replication pair share;
+	// sessIdx is its reverse. jrn, when set, makes this exchange the primary
+	// of a hot-standby pair, streaming every state change to the backup.
+	// dark marks a standby shadow (state advances by journal application,
+	// nothing transmits); crashed freezes the process after a
+	// fault.ProcessFail. All hot paths gate on one nil/bool compare.
+	sessList   []*orderentry.ExchangeSession
+	sessIdx    map[*orderentry.ExchangeSession]int
+	jrn        *replication.Journal
+	dark       bool
+	crashed    bool
+	recStreams []*netsim.Stream
+	// lastPublishAt stamps the most recent feed datagram's virtual time
+	// (maintained only while journaling — the blackout-window measurement).
+	lastPublishAt sim.Time
+
+	// Executions counts fills reported by the matching engine; the failover
+	// experiments compare promoted-backup and control counts to prove no
+	// execution was lost or duplicated.
+	Executions uint64
+
 	// CancelOnDisconnect counts orders mass-canceled for dead sessions;
 	// SessionsDropped counts peer-death declarations acted on.
 	CancelOnDisconnect uint64
@@ -127,6 +150,7 @@ func New(sched *sim.Scheduler, u *market.Universe, pmap *mcast.Map, cfg Config) 
 		owners:     make(map[market.OrderID]ownerRef),
 		byOwner:    make(map[ownerKey]market.OrderID),
 		links:      make(map[*orderentry.ExchangeSession]*oeLink),
+		sessIdx:    make(map[*orderentry.ExchangeSession]int),
 		nextOEPort: OEBasePort,
 	}
 	e.host = netsim.NewHost(sched, cfg.Name)
@@ -182,6 +206,7 @@ func (e *Exchange) AcceptRecoverySession(clientAddr pkt.UDPAddr) uint16 {
 		e.recSrv.Receive(b, func(resp []byte) { stream.Write(resp) })
 	}
 	e.mux.Register(stream)
+	e.recStreams = append(e.recStreams, stream)
 	return port
 }
 
@@ -230,35 +255,59 @@ func (e *Exchange) AcceptSession(clientAddr pkt.UDPAddr) (*orderentry.ExchangeSe
 	// session while these closures keep working.
 	link := &oeLink{stream: stream}
 	e.links[sess] = link
+	e.wireEngine(sess, link)
+	e.indexSession(sess)
+	if e.res != nil {
+		e.applyResilience(sess, stream)
+	}
+	return sess, port
+}
 
+// wireEngine installs the engine entry points on a session. Each handler
+// adopts the trace parked on the stream by the mux (nil when untraced) so
+// the match-latency wait is attributed to exchange software; a shadow
+// session has no transport until promotion, hence the nil-stream guard.
+func (e *Exchange) wireEngine(sess *orderentry.ExchangeSession, link *oeLink) {
 	sess.Validate = e.validate
-	// Each handler adopts the trace parked on the stream by the mux (nil when
-	// untraced) so the match-latency wait is attributed to exchange software.
 	sess.OnNew = func(m *orderentry.Msg) {
 		c := e.copyMsg(m)
-		if t := link.stream.TakeRxTrace(); t != nil {
-			c.Trace = t
+		if link.stream != nil {
+			if t := link.stream.TakeRxTrace(); t != nil {
+				c.Trace = t
+			}
 		}
 		e.sched.AfterArgs3(e.cfg.MatchLatency, sim.PrioDeliver, execNewArgs, e, sess, c)
 	}
 	sess.OnCancel = func(m *orderentry.Msg) {
 		c := e.copyMsg(m)
-		if t := link.stream.TakeRxTrace(); t != nil {
-			c.Trace = t
+		if link.stream != nil {
+			if t := link.stream.TakeRxTrace(); t != nil {
+				c.Trace = t
+			}
 		}
 		e.sched.AfterArgs3(e.cfg.MatchLatency, sim.PrioDeliver, execCancelArgs, e, sess, c)
 	}
 	sess.OnModify = func(m *orderentry.Msg) {
 		c := e.copyMsg(m)
-		if t := link.stream.TakeRxTrace(); t != nil {
-			c.Trace = t
+		if link.stream != nil {
+			if t := link.stream.TakeRxTrace(); t != nil {
+				c.Trace = t
+			}
 		}
 		e.sched.AfterArgs3(e.cfg.MatchLatency, sim.PrioDeliver, execModifyArgs, e, sess, c)
 	}
-	if e.res != nil {
-		e.applyResilience(sess, stream)
+}
+
+// indexSession assigns the session the next slot in accept order and, when
+// journaling, announces it so the standby opens the matching shadow slot.
+func (e *Exchange) indexSession(sess *orderentry.ExchangeSession) {
+	idx := len(e.sessList)
+	e.sessIdx[sess] = idx
+	e.sessList = append(e.sessList, sess)
+	if e.jrn != nil {
+		e.jrn.SessionOpen(idx)
+		sess.OnTx = func(seq uint32, frame []byte) { e.jrn.SessionTx(idx, seq, frame) }
 	}
-	return sess, port
 }
 
 // copyMsg snapshots an inbound order message (the session reuses its decode
@@ -310,6 +359,13 @@ func (e *Exchange) validate(m *orderentry.Msg) orderentry.RejectReason {
 }
 
 func (e *Exchange) execNew(sess *orderentry.ExchangeSession, m *orderentry.Msg) {
+	if e.crashed {
+		e.dropCrashed(m)
+		return
+	}
+	if e.jrn != nil {
+		e.jrn.Op(e.sessIdx[sess], replication.OpNew, m.OrderID, m.Symbol, m.Side, m.Price, m.Qty)
+	}
 	if t := m.Trace; t != nil {
 		t.Record(e.cfg.Name, trace.CauseSoftware, e.sched.Now())
 		t.Finish(trace.EndAccepted)
@@ -331,6 +387,13 @@ func (e *Exchange) execNew(sess *orderentry.ExchangeSession, m *orderentry.Msg) 
 }
 
 func (e *Exchange) execCancel(sess *orderentry.ExchangeSession, m *orderentry.Msg) {
+	if e.crashed {
+		e.dropCrashed(m)
+		return
+	}
+	if e.jrn != nil {
+		e.jrn.Op(e.sessIdx[sess], replication.OpCancel, m.OrderID, m.Symbol, m.Side, m.Price, m.Qty)
+	}
 	if t := m.Trace; t != nil {
 		t.Record(e.cfg.Name, trace.CauseSoftware, e.sched.Now())
 		t.Finish(trace.EndConsumed)
@@ -355,6 +418,16 @@ func (e *Exchange) execCancel(sess *orderentry.ExchangeSession, m *orderentry.Ms
 	e.dropOwner(exID)
 }
 
+// dropCrashed finishes the trace of an engine event that fired after the
+// process died — the in-flight order a failover must not lose silently.
+func (e *Exchange) dropCrashed(m *orderentry.Msg) {
+	if t := m.Trace; t != nil {
+		t.Record(e.cfg.Name, trace.CauseSoftware, e.sched.Now())
+		t.Finish(trace.EndCrashed)
+		m.Trace = nil
+	}
+}
+
 // dropOwner removes a dead order from both ownership indexes.
 func (e *Exchange) dropOwner(exID market.OrderID) {
 	if ref, ok := e.owners[exID]; ok {
@@ -364,6 +437,13 @@ func (e *Exchange) dropOwner(exID market.OrderID) {
 }
 
 func (e *Exchange) execModify(sess *orderentry.ExchangeSession, m *orderentry.Msg) {
+	if e.crashed {
+		e.dropCrashed(m)
+		return
+	}
+	if e.jrn != nil {
+		e.jrn.Op(e.sessIdx[sess], replication.OpModify, m.OrderID, m.Symbol, m.Side, m.Price, m.Qty)
+	}
 	if t := m.Trace; t != nil {
 		t.Record(e.cfg.Name, trace.CauseSoftware, e.sched.Now())
 		t.Finish(trace.EndConsumed)
@@ -408,6 +488,7 @@ func (e *Exchange) orderSymbol(exID market.OrderID) market.SymbolID {
 func (e *Exchange) reportFills(sym market.SymbolID, fills []market.Fill) {
 	for _, fl := range fills {
 		e.nextExecID++
+		e.Executions++
 		// Notify both sides if they are session-backed.
 		for _, oid := range []market.OrderID{fl.Resting} {
 			if ref, ok := e.owners[oid]; ok {
@@ -457,6 +538,11 @@ func (e *Exchange) timeNs() uint32 {
 // datagram immediately (one message per datagram at match-time; bursts
 // coalesce through PublishBurst).
 func (e *Exchange) publish(sym market.SymbolID, msg *feed.Msg) {
+	if e.dark {
+		// A standby shadow publishes nothing of its own: the primary's
+		// datagrams arrive byte-exact through the journal (adoptFeedDgram).
+		return
+	}
 	part := e.partMap.Partitioner().Partition(sym)
 	p := e.packers[part]
 	if !p.Add(msg) {
@@ -473,6 +559,10 @@ func (e *Exchange) flush(part int) {
 	src := e.mdNIC.Addr(MDPort)
 	e.packers[part].Flush(func(dgram []byte) {
 		e.retain[part].Retain(dgram)
+		if e.jrn != nil {
+			e.jrn.FeedRaw(part, dgram)
+			e.lastPublishAt = e.sched.Now()
+		}
 		if e.onPublishDgram != nil {
 			e.onPublishDgram(dgram)
 		}
@@ -494,6 +584,9 @@ func (e *Exchange) flush(part int) {
 // symbols and publishes them packed per partition — the headless mode
 // feed-driven experiments use, bypassing the matching engine.
 func (e *Exchange) PublishBurst(rng *rand.Rand, n int) {
+	if e.dark || e.crashed {
+		return
+	}
 	types := []feed.MsgType{feed.MsgAddOrder, feed.MsgDeleteOrder, feed.MsgOrderExecuted, feed.MsgModifyOrder}
 	touched := make(map[int]bool)
 	var msg feed.Msg

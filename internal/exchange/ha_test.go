@@ -1,0 +1,238 @@
+package exchange
+
+import (
+	"reflect"
+	"testing"
+
+	"tradenet/internal/feed"
+	"tradenet/internal/market"
+	"tradenet/internal/mcast"
+	"tradenet/internal/netsim"
+	"tradenet/internal/orderentry"
+	"tradenet/internal/pkt"
+	"tradenet/internal/replication"
+	"tradenet/internal/sim"
+	"tradenet/internal/units"
+)
+
+// bookDigest flattens every symbol's aggregated depth into one comparable
+// value — the "book state equal" half of the failover invariant.
+func bookDigest(e *Exchange, u *market.Universe) map[market.SymbolID][2][]market.Level {
+	d := make(map[market.SymbolID][2][]market.Level)
+	for id := market.SymbolID(1); int(id) <= u.Len(); id++ {
+		b := e.Book(id)
+		if b.Orders() == 0 {
+			continue
+		}
+		d[id] = [2][]market.Level{b.Levels(market.Buy, 32), b.Levels(market.Sell, 32)}
+	}
+	return d
+}
+
+// TestJournaledShadowMirrorsPrimary drives a full order lifecycle — adds,
+// a cross, a modify, a cancel, a logout mass-cancel — through a journaled
+// primary, crashes it mid-run, promotes the shadow, and checks the standby
+// froze on exactly the primary's state: books, id allocators, execution
+// counts, feed numbering, and replay windows. Then the promoted venue keeps
+// matching with ids and feed sequences continuing where the primary stopped.
+func TestJournaledShadowMirrorsPrimary(t *testing.T) {
+	sched := sim.NewScheduler(7)
+	u := testUniverse()
+	pmap := mcast.NewMap(mcast.NewPartitioner(u, mcast.ByAlpha, 0), mcast.NewAllocator(1))
+	primary := New(sched, u, pmap, Config{
+		ID: 1, Name: "EX-P", Variant: feed.ExchangeA,
+		MatchLatency: 2 * sim.Microsecond, HostID: 100,
+	})
+	backup := New(sched, u, pmap, Config{
+		ID: 1, Name: "EX-B", Variant: feed.ExchangeA,
+		MatchLatency: 2 * sim.Microsecond, HostID: 110,
+	})
+	res := Resilience{Session: orderentry.ExchangeResilience{RetainResponses: 128, Idempotent: true}}
+	primary.EnableResilience(res)
+	backup.EnableResilience(res)
+	backup.StartShadow()
+	fol := &replication.Follower{Apply: backup.ShadowApply}
+	primary.EnableJournal(func(b []byte) {
+		if err := fol.Receive(b); err != nil {
+			t.Fatalf("journal apply: %v", err)
+		}
+	})
+
+	// Market-data receivers keep both MD NICs connected (send on an
+	// unconnected port panics); the backup's records post-promotion headers.
+	mdHostP := netsim.NewHost(sched, "md-rx-p")
+	netsim.Connect(primary.MDNIC().Port, mdHostP.AddNIC("md", 200).Port, units.Rate10G, 0)
+	mdHostB := netsim.NewHost(sched, "md-rx-b")
+	bRx := mdHostB.AddNIC("md", 201)
+	netsim.Connect(backup.MDNIC().Port, bRx.Port, units.Rate10G, 0)
+	var backupHdrs []feed.UnitHeader
+	bRx.OnFrame = func(_ *netsim.NIC, fr *netsim.Frame) {
+		var uf pkt.UDPFrame
+		if err := pkt.ParseUDPFrame(fr.Data, &uf); err != nil {
+			t.Fatalf("md frame: %v", err)
+		}
+		var h feed.UnitHeader
+		if _, err := feed.DecodeUnitHeader(uf.Payload, &h); err != nil {
+			t.Fatalf("unit header: %v", err)
+		}
+		backupHdrs = append(backupHdrs, h)
+	}
+	for _, g := range pmap.Groups() {
+		bRx.Join(g)
+	}
+
+	// One order-entry client against the primary.
+	oeHost := netsim.NewHost(sched, "client")
+	oeNIC := oeHost.AddNIC("oe", 300)
+	netsim.Connect(oeNIC.Port, primary.OENIC().Port, units.Rate10G, 500*sim.Nanosecond)
+	clientMux := netsim.NewStreamMux(oeNIC)
+	_, exPort := primary.AcceptSession(oeNIC.Addr(40000))
+	cs := netsim.NewStream(oeNIC, 40000, primary.OENIC().Addr(exPort))
+	clientMux.Register(cs)
+	client := orderentry.NewClientSession(func(b []byte) { cs.Write(b) })
+	cs.OnData = func(b []byte) {
+		if err := client.Receive(b); err != nil {
+			t.Fatalf("client receive: %v", err)
+		}
+	}
+
+	aapl, _ := u.Lookup("AAPL")
+	msft, _ := u.Lookup("MSFT")
+	spy, _ := u.Lookup("SPY")
+	at := func(tenths int64, fn func()) {
+		sched.At(sim.Time(tenths)*sim.Time(sim.Millisecond)/10, fn)
+	}
+	at(0, client.Logon)
+	at(10, func() { client.NewOrder(1, aapl, market.Buy, 1_500_000, 100) })
+	at(15, func() { client.NewOrder(2, aapl, market.Sell, 1_500_000, 60) }) // crosses: fills both
+	at(20, func() { client.NewOrder(3, msft, market.Buy, 2_000_000, 50) })
+	at(25, func() { client.Modify(3, 2_100_000, 40) })
+	at(30, func() { client.NewOrder(4, spy, market.Sell, 4_000_000, 25) })
+	at(35, func() { client.Cancel(4) })
+
+	// Crash mid-life and promote the shadow at the same instant (the
+	// cluster's detection delay is a layer above this test).
+	crashAt := sim.Time(5 * sim.Millisecond)
+	var pDigest map[market.SymbolID][2][]market.Level
+	var pNextSeqs []uint32
+	sched.AtPrio(crashAt, sim.PrioControl, func() {
+		primary.Crash()
+		pDigest = bookDigest(primary, u)
+		for _, p := range primary.packers {
+			pNextSeqs = append(pNextSeqs, p.NextSeq())
+		}
+
+		if got := bookDigest(backup, u); !reflect.DeepEqual(got, pDigest) {
+			t.Fatalf("shadow books diverged:\n got %v\nwant %v", got, pDigest)
+		}
+		if backup.nextExchangeOrderID != primary.nextExchangeOrderID ||
+			backup.nextExecID != primary.nextExecID {
+			t.Fatalf("id allocators diverged: order %d/%d exec %d/%d",
+				backup.nextExchangeOrderID, primary.nextExchangeOrderID,
+				backup.nextExecID, primary.nextExecID)
+		}
+		if backup.Executions != primary.Executions || primary.Executions == 0 {
+			t.Fatalf("executions: backup %d, primary %d", backup.Executions, primary.Executions)
+		}
+		if backup.Published != primary.Published || backup.PublishedMsgs != primary.PublishedMsgs {
+			t.Fatalf("feed counters: backup %d/%d, primary %d/%d",
+				backup.Published, backup.PublishedMsgs, primary.Published, primary.PublishedMsgs)
+		}
+		for i, p := range backup.packers {
+			if p.NextSeq() != pNextSeqs[i] {
+				t.Fatalf("partition %d: backup next seq %d, primary %d", i, p.NextSeq(), pNextSeqs[i])
+			}
+			if backup.retain[i].Retained() != primary.retain[i].Retained() ||
+				backup.retain[i].OldestSeq() != primary.retain[i].OldestSeq() {
+				t.Fatalf("partition %d: replay windows diverged", i)
+			}
+		}
+		if backup.NumSessions() != primary.NumSessions() {
+			t.Fatalf("sessions: backup %d, primary %d", backup.NumSessions(), primary.NumSessions())
+		}
+		if backup.SessionAt(0).SeqOut() != primary.SessionAt(0).SeqOut() {
+			t.Fatalf("session seq: backup %d, primary %d",
+				backup.SessionAt(0).SeqOut(), primary.SessionAt(0).SeqOut())
+		}
+
+		backup.Promote(orderentry.ExchangeResilience{RetainResponses: 128, Idempotent: true})
+	})
+
+	// The promoted venue matches on: a sell crossing MSFT's modified bid.
+	// (Driven at the engine entry — transport re-homing is session-layer
+	// machinery proven elsewhere.)
+	promotedWant := primary.nextExchangeOrderID // filled in at crash time via closure below
+	_ = promotedWant
+	sched.At(sim.Time(6*sim.Millisecond), func() {
+		m := &orderentry.Msg{Kind: orderentry.KindNewOrder, OrderID: 99,
+			Symbol: msft, Side: market.Sell, Price: 2_100_000, Qty: 10}
+		before := backup.nextExchangeOrderID
+		if before != primary.nextExchangeOrderID {
+			t.Fatalf("allocators drifted before promotion order")
+		}
+		backup.execNew(backup.SessionAt(0), m)
+		if backup.nextExchangeOrderID != before+1 {
+			t.Fatalf("promoted venue order id %d, want %d", backup.nextExchangeOrderID, before+1)
+		}
+	})
+	sched.RunUntil(sim.Time(8 * sim.Millisecond))
+
+	// The crashed primary froze: its counters did not advance.
+	if primary.nextExchangeOrderID+1 != backup.nextExchangeOrderID {
+		t.Fatalf("primary advanced after crash: %d vs backup %d",
+			primary.nextExchangeOrderID, backup.nextExchangeOrderID)
+	}
+	if backup.Executions != primary.Executions+1 {
+		t.Fatalf("promoted execution not counted: %d vs %d", backup.Executions, primary.Executions)
+	}
+	// The promoted publishes continued every partition's numbering: each
+	// received datagram starts exactly at the sequence the primary left off.
+	if len(backupHdrs) == 0 {
+		t.Fatal("promoted venue published nothing")
+	}
+	seen := make(map[uint8]uint32)
+	for _, h := range backupHdrs {
+		want, ok := seen[h.Unit]
+		if !ok {
+			want = pNextSeqs[h.Unit]
+		}
+		if h.Seq != want {
+			t.Fatalf("unit %d: post-promotion seq %d, want %d (no discontinuity)", h.Unit, h.Seq, want)
+		}
+		seen[h.Unit] = h.Seq + uint32(h.Count)
+	}
+}
+
+// TestExchangeHANoJournalIsInert: with no journal and no shadow, the new
+// fields stay zero-valued and the crash guard alone changes behavior.
+func TestCrashFreezesEngineAndKillsTransports(t *testing.T) {
+	f := newFixture(t)
+	aapl, _ := f.u.Lookup("AAPL")
+	var unknown []uint64
+	f.client.OnOrderUnknown = func(id uint64) { unknown = append(unknown, id) }
+	f.sched.At(0, func() { f.client.Logon() })
+	f.sched.After(sim.Millisecond, func() {
+		f.client.NewOrder(1, aapl, market.Buy, 1_500_000, 100)
+	})
+	f.sched.At(sim.Time(2*sim.Millisecond), func() { f.ex.Crash() })
+	// Submitted after the crash: the transport is dead, the engine frozen.
+	f.sched.At(sim.Time(2100*sim.Microsecond), func() {
+		f.client.NewOrder(2, aapl, market.Sell, 1_500_000, 50)
+	})
+	// Bounded run: the client's transport retransmits into the dead venue
+	// indefinitely (no stream hardening in this fixture), so the event queue
+	// never drains on its own.
+	f.sched.RunUntil(sim.Time(10 * sim.Millisecond))
+	if !f.ex.Crashed() {
+		t.Fatal("not crashed")
+	}
+	if st, ok := f.client.Order(1); !ok || !st.Acked {
+		t.Fatalf("pre-crash order lost: %+v ok=%v", st, ok)
+	}
+	if st, ok := f.client.Order(2); ok && st.Acked {
+		t.Fatal("post-crash order acked by a dead exchange")
+	}
+	if f.ex.Book(aapl).Orders() != 1 {
+		t.Fatalf("book mutated after crash: %d orders", f.ex.Book(aapl).Orders())
+	}
+}

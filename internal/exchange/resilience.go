@@ -72,6 +72,9 @@ func (e *Exchange) cancelOnDisconnect(sess *orderentry.ExchangeSession) {
 // response window — a reconnecting client replays them and reconciles its
 // working-order view without a special mass-cancel message.
 func (e *Exchange) massCancel(sess *orderentry.ExchangeSession) {
+	if e.jrn != nil {
+		e.jrn.MassCancel(e.sessIdx[sess])
+	}
 	ids := make([]market.OrderID, 0, 8)
 	for exID, ref := range e.owners { // keys collected then sorted below
 		if ref.sess == sess {

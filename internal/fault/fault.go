@@ -60,6 +60,15 @@ const (
 	RainStart
 	// RainEnd clears the rain.
 	RainEnd
+	// ProcessFail kills a whole host process: every transport it owns dies
+	// instantly, timers stop, and in-memory state freezes. Unlike
+	// SessionDrop (one session) or SwitchFail (a network device), the
+	// granularity is the process — the exchange-crash event the HA layer
+	// promotes a standby on.
+	ProcessFail
+	// ProcessRecover restarts a failed process. What state it comes back
+	// with (cold, or rehydrated from a journal) is the target's policy.
+	ProcessRecover
 )
 
 // String names the kind.
@@ -83,6 +92,10 @@ func (k Kind) String() string {
 		return "RainStart"
 	case RainEnd:
 		return "RainEnd"
+	case ProcessFail:
+		return "ProcessFail"
+	case ProcessRecover:
+		return "ProcessRecover"
 	}
 	return "Unknown"
 }
@@ -258,6 +271,44 @@ func (p *Plan) SessionDrop(target SessionDropper, at sim.Time) {
 		target.DropSession()
 		p.record(SessionDrop, target.FaultName())
 	})
+}
+
+// Process is a host process a plan can crash and restart as a unit (an
+// exchange, a normalizer fleet member). The implementation owns the
+// consequences: killing every transport it holds, cancelling its timers,
+// and freezing state at the crash instant. Crash must be idempotent;
+// Restart on a process that never crashed is the implementation's choice.
+type Process interface {
+	// FaultName identifies the process in the event log.
+	FaultName() string
+	// Crash kills the process at the current instant.
+	Crash()
+	// Restart brings the process back up.
+	Restart()
+}
+
+// ProcessFail crashes target at instant at. There is no implicit recovery:
+// pair it with ProcessRecover (or ProcessOutage) if the scenario restarts
+// the process.
+func (p *Plan) ProcessFail(target Process, at sim.Time) {
+	p.sched.AtPrio(at, sim.PrioControl, func() {
+		target.Crash()
+		p.record(ProcessFail, target.FaultName())
+	})
+}
+
+// ProcessRecover restarts target at instant at.
+func (p *Plan) ProcessRecover(target Process, at sim.Time) {
+	p.sched.AtPrio(at, sim.PrioControl, func() {
+		target.Restart()
+		p.record(ProcessRecover, target.FaultName())
+	})
+}
+
+// ProcessOutage crashes target at instant at and restarts it d later.
+func (p *Plan) ProcessOutage(target Process, at sim.Time, d sim.Duration) {
+	p.ProcessFail(target, at)
+	p.ProcessRecover(target, at.Add(d))
 }
 
 // RandomConfig parameterizes seed-driven plan generation.

@@ -158,6 +158,33 @@ func TestPackerSequencing(t *testing.T) {
 	}
 }
 
+// TestPackerAdoptsSequence: a standby packer tracking a primary's feed via
+// SetNextSeq continues the unit's numbering without a discontinuity.
+func TestPackerAdoptsSequence(t *testing.T) {
+	p := NewPacker(Internal, 3)
+	p.SetNextSeq(101) // primary published seqs 1..100 before dying
+	var m Msg
+	m.Type = MsgDeleteOrder
+	p.Add(&m)
+	var h UnitHeader
+	p.Flush(func(d []byte) {
+		if _, err := DecodeUnitHeader(d, &h); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if h.Seq != 101 || p.NextSeq() != 102 {
+		t.Fatalf("adopted seq = %d, next = %d, want 101/102", h.Seq, p.NextSeq())
+	}
+
+	p.Add(&m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetNextSeq with pending messages did not panic")
+		}
+	}()
+	p.SetNextSeq(200)
+}
+
 func TestPackerRespectsMaxDgram(t *testing.T) {
 	v := &Variant{Name: "tiny", MaxDgram: 60}
 	p := NewPacker(v, 1)

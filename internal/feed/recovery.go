@@ -241,17 +241,24 @@ type RecoveryClient struct {
 // requests. The client installs itself as the reassembler's gap handler.
 func NewRecoveryClient(unit uint8, send func([]byte)) *RecoveryClient {
 	c := &RecoveryClient{R: NewReassembler(unit), send: send}
-	c.R.OnGap = func(g GapInfo) {
-		c.lastGap = g
-		c.Requests++
-		c.send(AppendRecoveryRequest(nil, g.Unit, g.Expected, g.Got))
-	}
+	c.R.OnGap = c.RequestRange
 	c.resp.OnRefused = func(uint8) {
 		if c.Unrecoverable != nil {
 			c.Unrecoverable(c.lastGap)
 		}
 	}
 	return c
+}
+
+// RequestRange issues a recovery request for the described range. The
+// reassembler's own gap detection routes here automatically; callers with
+// out-of-band loss knowledge — an Arbiter declaring a loss after A/B
+// arbitration, or a receiver healing a failover blackout — drive recovery
+// through it directly.
+func (c *RecoveryClient) RequestRange(g GapInfo) {
+	c.lastGap = g
+	c.Requests++
+	c.send(AppendRecoveryRequest(nil, g.Unit, g.Expected, g.Got))
 }
 
 // Consume ingests a live multicast datagram.

@@ -77,6 +77,18 @@ func (p *Packer) Pending() int { return p.count }
 // NextSeq returns the sequence number the next added message will get.
 func (p *Packer) NextSeq() uint32 { return p.seq + uint32(p.count) }
 
+// SetNextSeq adopts seq as the next sequence number to assign. A hot-standby
+// exchange tracks the primary's feed this way: each journaled datagram
+// advances the shadow packer so a promoted backup continues the unit's
+// numbering without a discontinuity — downstream receivers see the blackout
+// as an ordinary gap. Only legal with no buffered messages.
+func (p *Packer) SetNextSeq(seq uint32) {
+	if p.count > 0 {
+		panic("feed: SetNextSeq with messages pending")
+	}
+	p.seq = seq
+}
+
 // Add encodes m into the pending datagram. It reports whether the message
 // fit; when false, the caller must Flush and retry (the datagram is at the
 // exchange's maximum).

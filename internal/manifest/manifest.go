@@ -69,6 +69,7 @@ type ScenarioInfo struct {
 	PullOnGap          bool  `json:"pull_on_gap,omitempty"`
 	OEResilience       bool  `json:"oe_resilience,omitempty"`
 	WANRedundancy      bool  `json:"wan_redundancy,omitempty"`
+	ExchangeHA         bool  `json:"exchange_ha,omitempty"`
 }
 
 // RegistryEntry is one registry metric, structured: integers and gauges

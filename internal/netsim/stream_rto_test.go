@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tradenet/internal/sim"
+	"tradenet/internal/units"
 )
 
 // outagePair wires two hosts and cuts the link (both directions) for the
@@ -124,5 +125,80 @@ func TestStreamKillIsSilent(t *testing.T) {
 	s1.Write([]byte("x"))
 	if s1.DroppedWrites != 1 {
 		t.Fatalf("dropped writes = %d", s1.DroppedWrites)
+	}
+}
+
+// TestStreamReconnectStartsAtBaseRTO is the redial-path audit's regression
+// test: every reconnect in the firm layer constructs a fresh Stream
+// (gateway reconnectExchange, strategy redial) rather than reviving the
+// dead one, so a replacement must not inherit its predecessor's backed-off
+// retransmission state — first retransmit at the base RTO, round counter
+// zero, alive — even when the stream it replaces died pinned at MaxRTO.
+func TestStreamReconnectStartsAtBaseRTO(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	h1, h2 := NewHost(sched, "client"), NewHost(sched, "server")
+	n1, n2 := h1.AddNIC("orders", 10), h2.AddNIC("orders", 20)
+	Connect(n1.Port, n2.Port, units.Rate10G, 500*sim.Nanosecond)
+	m1, m2 := NewStreamMux(n1), NewStreamMux(n2)
+
+	old := NewStream(n1, 40000, n2.Addr(443))
+	srv := NewStream(n2, 443, n1.Addr(40000))
+	m1.Register(old)
+	m2.Register(srv)
+	old.MaxRTO = 3200 * sim.Microsecond
+	old.DeadAfter = 6
+
+	// The server process dies silently; the client stream backs off to
+	// MaxRTO and eventually declares the transport dead.
+	sched.At(sim.Time(sim.Millisecond), func() { srv.Kill() })
+	sched.At(sim.Time(1010*sim.Microsecond), func() { old.Write([]byte("into the void")) })
+	sched.Run()
+	if !old.Dead() {
+		t.Fatal("predecessor never died")
+	}
+	if old.curRTO != old.MaxRTO {
+		t.Fatalf("predecessor curRTO = %v, want pinned at MaxRTO %v", old.curRTO, old.MaxRTO)
+	}
+
+	// Redial exactly like the firm layer: same local port, fresh remote
+	// endpoint, fresh Stream registered on the same mux.
+	repl := NewStream(n1, 40000, n2.Addr(444))
+	repl.MaxRTO = old.MaxRTO
+	repl.DeadAfter = old.DeadAfter
+	m1.Register(repl)
+	srv2 := NewStream(n2, 444, n1.Addr(40000))
+	m2.Register(srv2)
+	var got bytes.Buffer
+	srv2.OnData = func(b []byte) { got.Write(b) }
+
+	if repl.Dead() || repl.curRTO != 0 || repl.rtoRounds != 0 {
+		t.Fatalf("replacement inherited retransmit state: dead=%v curRTO=%v rounds=%d",
+			repl.Dead(), repl.curRTO, repl.rtoRounds)
+	}
+
+	// Prove the first retransmit fires at the base RTO (200 µs), not at an
+	// inherited MaxRTO: cut the link around a write and count attempts.
+	down, up := sim.Time(20*sim.Millisecond), sim.Time(20400*sim.Microsecond)
+	sched.At(down, func() {
+		n1.Port.SetUp(false)
+		n2.Port.SetUp(false)
+	})
+	sched.At(down.Add(10*sim.Microsecond), func() { repl.Write([]byte("prompt retry")) })
+	sched.At(down.Add(300*sim.Microsecond), func() {
+		if repl.Retransmits == 0 {
+			t.Errorf("no retransmit within 300 µs of the cut: replacement is not at the base RTO")
+		}
+	})
+	sched.At(up, func() {
+		n1.Port.SetUp(true)
+		n2.Port.SetUp(true)
+	})
+	sched.Run()
+
+	if got.String() != "prompt retry" {
+		t.Fatalf("replacement never delivered: got %q", got.String())
+	}
+	if repl.Dead() {
+		t.Fatal("replacement died")
 	}
 }

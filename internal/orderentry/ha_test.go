@@ -1,0 +1,221 @@
+package orderentry
+
+import (
+	"testing"
+
+	"tradenet/internal/market"
+	"tradenet/internal/sim"
+)
+
+// TestMutedSessionEmitsNothing: a muted session consumes no sequence, sends
+// no bytes, and resumes exactly where it left off when unmuted.
+func TestMutedSessionEmitsNothing(t *testing.T) {
+	var sent int
+	e := NewExchangeSession(func([]byte) { sent++ })
+	e.Ack(1, 100)
+	if sent != 1 || e.SeqOut() != 1 {
+		t.Fatalf("before mute: sent=%d seq=%d", sent, e.SeqOut())
+	}
+	e.Mute(true)
+	e.Ack(2, 101)
+	e.Fill(2, 10, 1000)
+	if sent != 1 || e.SeqOut() != 1 {
+		t.Fatalf("muted session leaked: sent=%d seq=%d", sent, e.SeqOut())
+	}
+	e.Mute(false)
+	e.CancelAck(1)
+	if sent != 2 || e.SeqOut() != 2 {
+		t.Fatalf("after unmute: sent=%d seq=%d", sent, e.SeqOut())
+	}
+}
+
+// TestOnTxObservesExactFrames: the journal tap sees every emitted frame
+// byte-identically, after sequencing, and is silent while muted.
+func TestOnTxObservesExactFrames(t *testing.T) {
+	var sent [][]byte
+	e := NewExchangeSession(func(b []byte) { sent = append(sent, append([]byte(nil), b...)) })
+	var tapped [][]byte
+	var seqs []uint32
+	e.OnTx = func(seq uint32, frame []byte) {
+		seqs = append(seqs, seq)
+		tapped = append(tapped, append([]byte(nil), frame...))
+	}
+	e.Ack(1, 100)
+	e.Fill(1, 10, 1000)
+	e.Mute(true)
+	e.Reject(2, RejectBadPrice)
+	e.Mute(false)
+	e.CancelAck(1)
+	if len(tapped) != 3 || len(sent) != 3 {
+		t.Fatalf("tapped %d frames, sent %d, want 3 each", len(tapped), len(sent))
+	}
+	for i := range tapped {
+		if string(tapped[i]) != string(sent[i]) {
+			t.Fatalf("frame %d: tap differs from wire", i)
+		}
+		if seqs[i] != uint32(i+1) {
+			t.Fatalf("frame %d: tapped seq %d", i, seqs[i])
+		}
+	}
+}
+
+// TestShadowAdoptionThenPromotionHealsClient is the session-level core of
+// exchange failover: a shadow session mirrors the primary's transcript via
+// AdoptTx while muted, the primary dies mid-flight (its last ack never
+// reaching the client), and after promotion the client's ordinary
+// sequence-resync relogon against the shadow replays the primary's exact
+// bytes — the in-flight ack included — so nothing is lost or resubmitted.
+func TestShadowAdoptionThenPromotionHealsClient(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	w := &wire{}
+
+	var active *ExchangeSession // which venue the client's bytes reach
+	c := NewClientSession(func(b []byte) {
+		if w.cutToExch {
+			return
+		}
+		if err := active.Receive(b); err != nil && err != ErrSeqGap {
+			t.Fatalf("exchange receive: %v", err)
+		}
+	})
+	toClient := func(b []byte) {
+		if w.cutToClient {
+			return
+		}
+		if err := c.Receive(b); err != nil && err != ErrSeqGap {
+			t.Fatalf("client receive: %v", err)
+		}
+	}
+	primary := NewExchangeSession(toClient)
+	shadow := NewExchangeSession(func([]byte) { t.Fatal("muted shadow transmitted") })
+	shadow.Mute(true)
+	shadow.Harden(sched, ExchangeResilience{RetainResponses: 64, Idempotent: true})
+	primary.OnTx = func(seq uint32, frame []byte) { shadow.AdoptTx(seq, frame) }
+	active = primary
+
+	// Engine shared by both venues; the shadow mirrors acceptance state the
+	// way a journal apply would (duplicate screen + idempotency map).
+	var nextExID uint64 = 1
+	arrivals := map[uint64]int{}
+	primary.OnNew = func(m *Msg) {
+		arrivals[m.OrderID]++
+		id := nextExID
+		nextExID++
+		shadow.NoteSeen(m.OrderID)
+		shadow.Ack(m.OrderID, id) // muted: records the id map, sends nothing
+		primary.Ack(m.OrderID, id)
+	}
+	shadow.OnNew = func(m *Msg) {
+		arrivals[m.OrderID]++
+		id := nextExID
+		nextExID++
+		shadow.Ack(m.OrderID, id)
+	}
+
+	cfg := LivenessConfig{Interval: 100 * sim.Microsecond, MissLimit: 3}
+	primary.Harden(sched, ExchangeResilience{Liveness: cfg, RetainResponses: 64, Idempotent: true})
+	c.StartLiveness(sched, cfg)
+	c.EnableRetry(sched, RetryConfig{AckTimeout: 400 * sim.Microsecond})
+	c.Logon()
+	c.NewOrder(1, 1, market.Buy, 1000, 10)
+	c.NewOrder(2, 1, market.Buy, 990, 5)
+
+	// The response path dies first: order 3 reaches the primary and is
+	// journaled, but its ack never reaches the client.
+	sched.At(sim.Time(400*sim.Microsecond), func() { w.cutToClient = true })
+	sched.At(sim.Time(410*sim.Microsecond), func() { c.NewOrder(3, 1, market.Sell, 1010, 7) })
+	// Then the process dies.
+	sched.At(sim.Time(500*sim.Microsecond), func() {
+		w.cutToExch = true
+		primary.Quiesce()
+	})
+	// Promotion: unmute, take over the transport, client relogons.
+	sched.At(sim.Time(2*sim.Millisecond), func() {
+		w.cutToExch, w.cutToClient = false, false
+		shadow.Mute(false)
+		// Promotion re-hardens with liveness armed: the shadow now owns the
+		// heartbeat duty the primary dropped.
+		shadow.Harden(sched, ExchangeResilience{Liveness: cfg, RetainResponses: 64, Idempotent: true})
+		shadow.Rebind(toClient)
+		active = shadow
+		c.Relogon()
+	})
+	sched.RunUntil(sim.Time(4 * sim.Millisecond))
+
+	if arrivals[3] != 1 {
+		t.Fatalf("order 3 reached an engine %d times, want exactly 1 (primary only)", arrivals[3])
+	}
+	if st, ok := c.Order(3); !ok || !st.Acked {
+		t.Fatalf("order 3 not acked after promotion: %+v ok=%v", st, ok)
+	}
+	// The replayed transcript carried the in-flight ack, so reconciliation
+	// found nothing to resubmit — the zero-loss property.
+	if c.Resubmits != 0 {
+		t.Fatalf("client resubmitted %d orders; replay should have healed all", c.Resubmits)
+	}
+	if shadow.ReplayedMsgs == 0 {
+		t.Fatal("promotion replayed nothing from the adopted transcript")
+	}
+	if got := c.OpenIDs(); len(got) != 3 {
+		t.Fatalf("client view after failover = %v, want ids 1,2,3", got)
+	}
+	if !c.LoggedOn() || c.Dead() {
+		t.Fatalf("session not re-homed: logged=%v dead=%v", c.LoggedOn(), c.Dead())
+	}
+	if c.Overfills != 0 {
+		t.Fatalf("overfills = %d", c.Overfills)
+	}
+
+	// The promoted venue must keep serving: a fresh order is acked with the
+	// sequence numbering continuing from the primary's transcript.
+	preSeq := shadow.SeqOut()
+	if err := c.NewOrder(4, 1, market.Buy, 995, 3); err != nil {
+		t.Fatalf("post-promotion order: %v", err)
+	}
+	if st, ok := c.Order(4); !ok || !st.Acked {
+		t.Fatalf("post-promotion order not acked: %+v ok=%v", st, ok)
+	}
+	if shadow.SeqOut() != preSeq+1 {
+		t.Fatalf("promoted seq jumped: %d -> %d", preSeq, shadow.SeqOut())
+	}
+}
+
+// TestNoteSeenSuppressesResubmitAfterPromotion: a promoted shadow treats a
+// client id the primary accepted as a duplicate, re-acking from the adopted
+// idempotency map instead of double-submitting to the engine.
+func TestNoteSeenSuppressesResubmitAfterPromotion(t *testing.T) {
+	var c *ClientSession
+	e := NewExchangeSession(func(b []byte) {
+		if err := c.Receive(b); err != nil && err != ErrSeqGap {
+			t.Fatalf("client receive: %v", err)
+		}
+	})
+	c = NewClientSession(func(b []byte) {
+		if err := e.Receive(b); err != nil && err != ErrSeqGap {
+			t.Fatalf("exchange receive: %v", err)
+		}
+	})
+	engineHits := 0
+	e.OnNew = func(*Msg) { engineHits++ }
+	e.Harden(sim.NewScheduler(1), ExchangeResilience{Idempotent: true})
+
+	// Journal apply on the dark shadow: order 7 was accepted by the primary.
+	e.Mute(true)
+	e.NoteSeen(7)
+	e.Ack(7, 7001)
+	e.Mute(false)
+
+	c.Logon()
+	if err := c.NewOrder(7, 1, market.Buy, 1000, 10); err != nil {
+		t.Fatalf("new order: %v", err)
+	}
+	if engineHits != 0 {
+		t.Fatalf("engine saw the duplicate %d times, want 0", engineHits)
+	}
+	if e.DupSuppressed != 1 {
+		t.Fatalf("DupSuppressed = %d, want 1", e.DupSuppressed)
+	}
+	if st, ok := c.Order(7); !ok || !st.Acked || st.ExchID != 7001 {
+		t.Fatalf("duplicate not re-acked from adopted map: %+v ok=%v", st, ok)
+	}
+}

@@ -284,6 +284,15 @@ type ExchangeSession struct {
 	tokens      int
 	lastRefill  sim.Time
 
+	// Replication state (ha.go); zero-valued when the session is not part
+	// of a hot-standby pair.
+	muted bool
+	// OnTx, if set, observes every transmitted response exactly as encoded
+	// (after retention, before send) so a replication journal can ship the
+	// byte-identical session transcript to a standby. The slice is only
+	// valid during the call.
+	OnTx func(seq uint32, frame []byte)
+
 	// Validate, if set, screens accepted-form requests (unknown symbol,
 	// bad price, compliance) before they reach the engine. Return
 	// RejectNone to accept.
@@ -314,11 +323,17 @@ func NewExchangeSession(send func([]byte)) *ExchangeSession {
 }
 
 func (e *ExchangeSession) emit(m *Msg) {
+	if e.muted {
+		return
+	}
 	e.seqOut++
 	m.Seq = e.seqOut
 	e.scratch = Append(e.scratch[:0], m)
 	if e.retainCap > 0 {
 		e.retain(m.Seq, e.scratch)
+	}
+	if e.OnTx != nil {
+		e.OnTx(m.Seq, e.scratch)
 	}
 	e.send(e.scratch)
 }

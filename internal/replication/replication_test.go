@@ -1,0 +1,180 @@
+package replication
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"tradenet/internal/market"
+)
+
+// sampleRecords covers every kind with non-zero fields.
+func sampleRecords() []Record {
+	return []Record{
+		{Kind: RecSessionOpen, Session: 3},
+		{Kind: RecOp, Session: 1, Op: OpNew, OrderID: 42, Symbol: 7,
+			Side: market.Sell, Price: 10_050, Qty: 300},
+		{Kind: RecSessionTx, Session: 1, TxSeq: 9, Payload: []byte{0xde, 0xad, 0xbe, 0xef}},
+		{Kind: RecFeedRaw, Partition: 12, Payload: bytes.Repeat([]byte{0xab}, 100)},
+		{Kind: RecOp, Session: 2, Op: OpCancel, OrderID: 42},
+		{Kind: RecOp, Session: 2, Op: OpModify, OrderID: 42, Symbol: 7,
+			Side: market.Buy, Price: 10_051, Qty: 100},
+		{Kind: RecMassCancel, Session: 2},
+		{Kind: RecHeartbeat},
+	}
+}
+
+func TestAppendDecodeRoundTrip(t *testing.T) {
+	for i, r := range sampleRecords() {
+		r.Seq = uint64(i + 1)
+		enc := Append(nil, &r)
+		var got Record
+		rest, err := Decode(enc, &got)
+		if err != nil {
+			t.Fatalf("record %d (%v): decode: %v", i, r.Kind, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("record %d: %d trailing bytes", i, len(rest))
+		}
+		// Payload aliases enc; compare then clear for the struct equality.
+		if !bytes.Equal(got.Payload, r.Payload) {
+			t.Fatalf("record %d: payload %x, want %x", i, got.Payload, r.Payload)
+		}
+		got.Payload, r.Payload = nil, nil
+		if !reflect.DeepEqual(got, r) {
+			t.Fatalf("record %d: got %+v, want %+v", i, got, r)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncatedAndUnknown(t *testing.T) {
+	r := Record{Kind: RecOp, Seq: 1, Op: OpNew, OrderID: 1, Symbol: 1, Price: 1, Qty: 1}
+	enc := Append(nil, &r)
+	var out Record
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := Decode(enc[:cut], &out); err == nil {
+			t.Fatalf("decode of %d/%d bytes succeeded", cut, len(enc))
+		}
+	}
+	bad := append([]byte(nil), enc...)
+	bad[4] = 0xEE // unknown kind
+	if _, err := Decode(bad, &out); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("unknown kind: err = %v, want ErrUnknown", err)
+	}
+}
+
+// TestJournalFollowerStream journals every kind, delivers the bytes in
+// pathological segmentation (1-byte trickle), and checks the follower
+// applies every record once, in order, contiguously sequenced.
+func TestJournalFollowerStream(t *testing.T) {
+	var wire []byte
+	j := NewJournal(func(b []byte) { wire = append(wire, b...) })
+
+	in := sampleRecords()
+	for _, r := range in {
+		r := r
+		switch r.Kind {
+		case RecOp:
+			j.Op(r.Session, r.Op, r.OrderID, r.Symbol, r.Side, r.Price, r.Qty)
+		case RecSessionTx:
+			j.SessionTx(r.Session, r.TxSeq, r.Payload)
+		case RecFeedRaw:
+			j.FeedRaw(int(r.Partition), r.Payload)
+		case RecMassCancel:
+			j.MassCancel(r.Session)
+		case RecSessionOpen:
+			j.SessionOpen(r.Session)
+		case RecHeartbeat:
+			j.Heartbeat()
+		}
+	}
+	if j.Records != uint64(len(in)) || j.Seq() != uint64(len(in)) {
+		t.Fatalf("journal: %d records, seq %d, want %d", j.Records, j.Seq(), len(in))
+	}
+	if j.Bytes != uint64(len(wire)) {
+		t.Fatalf("journal bytes = %d, wire = %d", j.Bytes, len(wire))
+	}
+
+	var got []Record
+	f := &Follower{Apply: func(r *Record) {
+		c := *r
+		c.Payload = append([]byte(nil), r.Payload...) // outlive the buffer
+		got = append(got, c)
+	}}
+	for i := 0; i < len(wire); i++ { // worst-case segmentation
+		if err := f.Receive(wire[i : i+1]); err != nil {
+			t.Fatalf("receive byte %d: %v", i, err)
+		}
+	}
+	if len(got) != len(in) {
+		t.Fatalf("applied %d records, want %d", len(got), len(in))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d: seq %d, want %d", i, r.Seq, i+1)
+		}
+		want := in[i]
+		if r.Kind != want.Kind || r.Session != want.Session || r.Op != want.Op ||
+			r.OrderID != want.OrderID || r.TxSeq != want.TxSeq ||
+			r.Partition != want.Partition || !bytes.Equal(r.Payload, want.Payload) {
+			t.Fatalf("record %d: got %+v, want %+v", i, r, want)
+		}
+	}
+	if f.Applied != uint64(len(in)) || f.LastSeq() != uint64(len(in)) {
+		t.Fatalf("follower: applied %d, lastSeq %d", f.Applied, f.LastSeq())
+	}
+	if f.Bytes != uint64(len(wire)) {
+		t.Fatalf("follower bytes = %d, wire = %d", f.Bytes, len(wire))
+	}
+}
+
+// TestFollowerDetectsSeqGap: a skipped record must fail loudly, not apply.
+func TestFollowerDetectsSeqGap(t *testing.T) {
+	var recs [][]byte
+	j := NewJournal(func(b []byte) { recs = append(recs, append([]byte(nil), b...)) })
+	j.Heartbeat()
+	j.Heartbeat()
+	j.Heartbeat()
+
+	applied := 0
+	f := &Follower{Apply: func(*Record) { applied++ }}
+	if err := f.Receive(recs[0]); err != nil {
+		t.Fatalf("first record: %v", err)
+	}
+	err := f.Receive(recs[2]) // skip seq 2
+	if !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("gap err = %v, want ErrSeqGap", err)
+	}
+	if applied != 1 {
+		t.Fatalf("applied %d records, want 1 (gap record must not apply)", applied)
+	}
+}
+
+// TestFollowerCoalescedSegments: many records in one Receive call all
+// dispatch, and a record split across the call boundary heals.
+func TestFollowerCoalescedSegments(t *testing.T) {
+	var wire []byte
+	j := NewJournal(func(b []byte) { wire = append(wire, b...) })
+	for i := 0; i < 50; i++ {
+		j.Op(i, OpNew, uint64(i), market.SymbolID(i+1), market.Buy,
+			market.Price(1000+i), market.Qty(10))
+	}
+	applied := 0
+	f := &Follower{Apply: func(r *Record) {
+		if r.OrderID != uint64(applied) {
+			t.Fatalf("record %d: order id %d", applied, r.OrderID)
+		}
+		applied++
+	}}
+	cut := len(wire)/2 + 5 // mid-record
+	if err := f.Receive(wire[:cut]); err != nil {
+		t.Fatalf("first half: %v", err)
+	}
+	if err := f.Receive(wire[cut:]); err != nil {
+		t.Fatalf("second half: %v", err)
+	}
+	if applied != 50 {
+		t.Fatalf("applied %d, want 50", applied)
+	}
+}

@@ -90,9 +90,13 @@ const (
 	// the frame's bytes live on in the reconstructed datagram, with no
 	// replay round trip.
 	EndReconstructed
+	// EndCrashed: the process that would have handled the message died
+	// before its engine event fired — the order-entry shape of an exchange
+	// failover, healed by client resubmission against the promoted standby.
+	EndCrashed
 
 	// NumEnds sizes per-end accumulation arrays.
-	NumEnds = 9
+	NumEnds = 10
 )
 
 // String returns the end kind's label.
@@ -116,6 +120,8 @@ func (e End) String() string {
 		return "deduped"
 	case EndReconstructed:
 		return "reconstructed"
+	case EndCrashed:
+		return "crashed"
 	}
 	return "unknown"
 }
